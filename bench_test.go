@@ -1,0 +1,271 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (§3). Each benchmark drives the same runner the cmd/experiments
+// binary prints, so `go test -bench=.` regenerates every measured artifact;
+// custom metrics expose the paper's counted quantities (SQL probes, lattice
+// nodes) alongside wall time.
+//
+// The level-7 benchmarks (Table 3/4 columns, Figure 13, Figure 15) build a
+// ~1.4M-node lattice once per process; expect the first level-7 benchmark to
+// spend tens of seconds in setup.
+package kwsdbg
+
+import (
+	"sync"
+	"testing"
+
+	"kwsdbg/internal/bench"
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+	"kwsdbg/internal/lattice"
+)
+
+// benchScale keeps level-7 traversals affordable while preserving the
+// workload's distributional structure (see DESIGN.md's substitution table).
+const benchScale = 0.02
+
+var (
+	envOnce sync.Once
+	envVal  *bench.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = bench.NewEnv(dblife.Config{Seed: 1, Scale: benchScale})
+	})
+	if envErr != nil {
+		b.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+// prepare builds the lattice for a level outside the timed region.
+func prepare(b *testing.B, env *bench.Env, levels ...int) {
+	b.Helper()
+	for _, l := range levels {
+		if _, err := env.System(l); err != nil {
+			b.Fatalf("System(%d): %v", l, err)
+		}
+	}
+	b.ResetTimer()
+}
+
+// BenchmarkFig9aLatticeNodes regenerates the level-5 lattice from scratch,
+// the offline Phase 0 cost whose node counts Figure 9(a) plots.
+func BenchmarkFig9aLatticeNodes(b *testing.B) {
+	schema := dblife.Schema()
+	var nodes, dups int
+	for i := 0; i < b.N; i++ {
+		l, err := lattice.GenerateOpts(schema, lattice.Options{MaxJoins: 4, KeywordSlots: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = l.Len()
+		dups = 0
+		for _, st := range l.Stats() {
+			dups += st.Duplicates
+		}
+	}
+	b.ReportMetric(float64(nodes), "nodes")
+	b.ReportMetric(float64(dups), "duplicates")
+}
+
+// BenchmarkFig9bLatticeGenTime times lattice generation per level bound,
+// Figure 9(b)'s series.
+func BenchmarkFig9bLatticeGenTime(b *testing.B) {
+	schema := dblife.Schema()
+	for _, level := range []int{2, 3, 4, 5} {
+		b.Run(levelName(level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lattice.GenerateOpts(schema, lattice.Options{MaxJoins: level - 1, KeywordSlots: 3}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func levelName(l int) string { return "level" + string(rune('0'+l)) }
+
+// BenchmarkPhase12Pruning measures keyword mapping, lattice pruning, and MTN
+// discovery across the whole workload (§3.3's timings).
+func BenchmarkPhase12Pruning(b *testing.B) {
+	env := benchEnv(b)
+	sys, err := env.System(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepare(b, env, 5)
+	var pruned, mtns int
+	for i := 0; i < b.N; i++ {
+		pruned, mtns = 0, 0
+		for _, q := range dblife.Workload() {
+			st, err := sys.Analyze(q.Keywords)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pruned += st.PrunedNodes
+			mtns += st.MTNs
+		}
+	}
+	b.ReportMetric(float64(pruned), "pruned_nodes")
+	b.ReportMetric(float64(mtns), "mtns")
+}
+
+// BenchmarkFig10PruningStats measures the per-query statistics of Figure 10
+// (pruned nodes, MTNs, descendants, unique descendants) at level 5.
+func BenchmarkFig10PruningStats(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11QueryCounts runs the whole workload per traversal strategy
+// at level 5 and reports the executed SQL count Figure 11 plots.
+func BenchmarkFig11QueryCounts(b *testing.B) {
+	env := benchEnv(b)
+	sys, err := env.System(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range append(append([]core.Strategy{}, core.Strategies...), core.RE) {
+		b.Run(strat.String(), func(b *testing.B) {
+			prepare(b, env, 5)
+			total := 0
+			for i := 0; i < b.N; i++ {
+				total = 0
+				for _, q := range dblife.Workload() {
+					out, err := sys.Debug(q.Keywords, core.Options{Strategy: strat})
+					if err != nil {
+						b.Fatal(err)
+					}
+					total += out.Stats.SQLExecuted
+				}
+			}
+			b.ReportMetric(float64(total), "sql_queries")
+		})
+	}
+}
+
+// BenchmarkFig12TraversalTime measures end-to-end traversal wall time per
+// strategy at level 5, the quantity behind Figure 12.
+func BenchmarkFig12TraversalTime(b *testing.B) {
+	env := benchEnv(b)
+	sys, err := env.System(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range core.Strategies {
+		b.Run(strat.String(), func(b *testing.B) {
+			prepare(b, env, 5)
+			for i := 0; i < b.N; i++ {
+				for _, q := range dblife.Workload() {
+					if _, err := sys.Debug(q.Keywords, core.Options{Strategy: strat}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable3Distributions counts MTNs and MPANs across lattice levels
+// 3, 5, and 7 (the paper's Table 3).
+func BenchmarkTable3Distributions(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 3, 5, 7)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table3(env, []int{3, 5, 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Q3Levels measures Q3's SQL counts per strategy at levels
+// 3, 5, and 7 (the paper's Table 4).
+func BenchmarkTable4Q3Levels(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 3, 5, 7)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table4(env, "Q3", []int{3, 5, 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13Reuse computes the reuse percentages of Figure 13 at levels
+// 3, 5, and 7.
+func BenchmarkFig13Reuse(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 3, 5, 7)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig13(env, []int{3, 5, 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Alternatives5 compares our approach against Return Nothing
+// and Return Everything at level 5 (Figure 14).
+func BenchmarkFig14Alternatives5(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Alternatives(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig15Alternatives7 is Figure 15: the same comparison with up to
+// six joins, where the lattice's advantage is most dramatic.
+func BenchmarkFig15Alternatives7(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 7)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Alternatives(env, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPa sweeps the score-based heuristic's aliveness prior
+// (the paper's §2.5.3 claim that pa = 0.5 works well).
+func BenchmarkAblationPa(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.AblationPa(env, 5, []float64{0.1, 0.5, 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRNCoverage measures the §3.8 incompleteness quantification: how
+// many MPANs the Return Nothing workflow could never surface.
+func BenchmarkRNCoverage(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RNCoverage(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOnlineCN measures the paper's claim (iii): lattice lookup versus
+// classical query-time candidate-network generation.
+func BenchmarkOnlineCN(b *testing.B) {
+	env := benchEnv(b)
+	prepare(b, env, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.OnlineCN(env, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

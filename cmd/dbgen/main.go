@@ -1,0 +1,38 @@
+// Command dbgen materializes the synthetic DBLife dataset as a portable SQL
+// script, so the evaluation data can be loaded into kwsdbg (or any tool that
+// speaks the engine's dialect) without regenerating it:
+//
+//	dbgen -scale 0.02 -seed 1 > dblife.sql
+//	kwsdbg -dataset dblife.sql "Widom Trio"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"kwsdbg/internal/dblife"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.05, "dataset scale factor (1.0 = the paper's ~801k tuples)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	eng, err := dblife.Generate(dblife.Config{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dbgen:", err)
+		os.Exit(1)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := eng.Dump(w); err != nil {
+		fmt.Fprintln(os.Stderr, "dbgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "dbgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dbgen: %d tuples\n", eng.Database().TotalRows())
+}

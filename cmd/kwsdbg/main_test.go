@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kwsdbg/internal/core"
+)
+
+func TestParseStrategy(t *testing.T) {
+	good := map[string]core.Strategy{
+		"BU": core.BU, "td": core.TD, "BuWr": core.BUWR,
+		"TDWR": core.TDWR, "sbh": core.SBH, "RE": core.RE,
+	}
+	for in, want := range good {
+		got, err := parseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("parseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseStrategy("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	eng, err := loadDataset("figure2", 0, 0)
+	if err != nil || eng.Database().TotalRows() == 0 {
+		t.Fatalf("figure2: %v", err)
+	}
+	eng, err = loadDataset("dblife", 0.01, 1)
+	if err != nil || eng.Database().TotalRows() == 0 {
+		t.Fatalf("dblife: %v", err)
+	}
+	if _, err := loadDataset("/no/such/file.sql", 0, 0); err == nil {
+		t.Error("missing script accepted")
+	}
+	// A SQL script on disk works too.
+	script := filepath.Join(t.TempDir(), "db.sql")
+	if err := os.WriteFile(script, []byte("CREATE TABLE t (id INT PRIMARY KEY, s TEXT); INSERT INTO t VALUES (1, 'hello')"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err = loadDataset(script, 0, 0)
+	if err != nil || eng.Database().TotalRows() != 1 {
+		t.Fatalf("script dataset: %v", err)
+	}
+}
+
+func TestObtainLatticeCache(t *testing.T) {
+	eng, err := loadDataset("figure2", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := filepath.Join(t.TempDir(), "lat.gob")
+	c := config{maxJoins: 1, slots: 2, cachePath: cache}
+	lat1, err := obtainLattice(eng, c)
+	if err != nil {
+		t.Fatalf("generate+save: %v", err)
+	}
+	if _, err := os.Stat(cache); err != nil {
+		t.Fatalf("cache not written: %v", err)
+	}
+	lat2, err := obtainLattice(eng, c)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if lat1.Len() != lat2.Len() {
+		t.Errorf("cache round trip: %d vs %d nodes", lat1.Len(), lat2.Len())
+	}
+	// A cache built with different options is rejected.
+	c2 := config{maxJoins: 2, slots: 2, cachePath: cache}
+	if _, err := obtainLattice(eng, c2); err == nil {
+		t.Error("mismatched cache accepted")
+	}
+}

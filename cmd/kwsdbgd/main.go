@@ -1,0 +1,67 @@
+// Command kwsdbgd serves the keyword search system and its non-answer
+// debugger over HTTP (JSON):
+//
+//	kwsdbgd -dataset dblife -scale 0.02 -maxjoins 4 -addr :8080
+//	curl 'localhost:8080/search?q=Widom+Trio&k=5'
+//	curl 'localhost:8080/debug?q=DeRose+VLDB&strategy=SBH'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+	"kwsdbg/internal/engine"
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/server"
+)
+
+func main() {
+	dataset := flag.String("dataset", "figure2", "dataset: figure2 | dblife | a SQL script path")
+	scale := flag.Float64("scale", 0.02, "dblife dataset scale factor")
+	seed := flag.Int64("seed", 1, "dblife dataset seed")
+	maxJoins := flag.Int("maxjoins", 2, "lattice join bound")
+	slots := flag.Int("slots", 3, "maximum keywords per query")
+	addr := flag.String("addr", ":8080", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request probing budget")
+	flag.Parse()
+
+	eng, err := loadDataset(*dataset, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
+		os.Exit(1)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: *maxJoins, KeywordSlots: *slots})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
+		os.Exit(1)
+	}
+	srv := server.New(sys)
+	srv.Timeout = *timeout
+	fmt.Fprintf(os.Stderr, "kwsdbgd: %d tuples, %d lattice nodes, serving on %s\n",
+		eng.Database().TotalRows(), sys.Lattice().Len(), *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
+		os.Exit(1)
+	}
+}
+
+func loadDataset(dataset string, scale float64, seed int64) (*engine.Engine, error) {
+	switch dataset {
+	case "figure2":
+		return figure2.Engine()
+	case "dblife":
+		return dblife.Generate(dblife.Config{Seed: seed, Scale: scale})
+	default:
+		script, err := os.ReadFile(dataset)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %q: %w", dataset, err)
+		}
+		return engine.Load(string(script))
+	}
+}

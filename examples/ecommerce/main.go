@@ -1,0 +1,148 @@
+// E-commerce SEO debugging: the workflow the paper's introduction describes.
+//
+// An online store's search box returns "no results" for a batch of queries
+// from the search log. For each, the debugger distinguishes the three causes
+// the paper enumerates — a keyword missing from the data entirely, a join
+// that is empty although every keyword occurs, or genuinely disjoint
+// inventory — and shows the maximal alive sub-queries a merchandiser would
+// act on (add a synonym, fix a category link, or surface partial results).
+//
+// Run with: go run ./examples/ecommerce
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/engine"
+	"kwsdbg/internal/lattice"
+)
+
+// storeScript is a small but multi-path store catalog: products join to
+// brands, categories, and materials, so a keyword query can die in several
+// structurally different ways.
+const storeScript = `
+CREATE TABLE Brand (id INT PRIMARY KEY, name TEXT, country TEXT);
+CREATE TABLE Category (id INT PRIMARY KEY, name TEXT, aliases TEXT);
+CREATE TABLE Material (id INT PRIMARY KEY, name TEXT, care TEXT);
+CREATE TABLE Product (
+	id INT PRIMARY KEY, title TEXT, brand INT, category INT, material INT,
+	price FLOAT, blurb TEXT,
+	FOREIGN KEY (brand) REFERENCES Brand(id),
+	FOREIGN KEY (category) REFERENCES Category(id),
+	FOREIGN KEY (material) REFERENCES Material(id));
+
+INSERT INTO Brand VALUES
+	(1, 'Northwind', 'Norway'),
+	(2, 'Aurora Living', 'Sweden'),
+	(3, 'Basalt & Pine', 'Canada'),
+	(4, 'Meridian', 'Italy');
+INSERT INTO Category VALUES
+	(1, 'sofas', 'couch, settee'),
+	(2, 'armchairs', 'reading chair'),
+	(3, 'dining tables', 'kitchen table'),
+	(4, 'floor lamps', 'standing lamp'),
+	(5, 'rugs', 'carpet');
+INSERT INTO Material VALUES
+	(1, 'oak', 'wipe with damp cloth'),
+	(2, 'walnut', 'oil twice a year'),
+	(3, 'linen', 'machine wash cold'),
+	(4, 'wool', 'dry clean'),
+	(5, 'steel', 'dust only');
+INSERT INTO Product VALUES
+	(1, 'Fjord three-seat sofa', 1, 1, 3, 1299.0, 'deep seats, washable linen covers'),
+	(2, 'Polar compact sofa', 2, 1, 4, 899.0, 'wool blend upholstery for cold evenings'),
+	(3, 'Drift armchair', 1, 2, 3, 549.0, 'high back reading chair in natural linen'),
+	(4, 'Ember dining table', 3, 3, 1, 1100.0, 'solid oak top with steel legs'),
+	(5, 'Halo floor lamp', 4, 4, 5, 249.0, 'brushed steel with a linen shade'),
+	(6, 'Tundra rug', 2, 5, 4, 420.0, 'hand woven wool, high pile'),
+	(7, 'Glacier dining table', 4, 3, 2, 1680.0, 'walnut veneer, extends to ten seats');
+`
+
+// searchLog is the batch of zero-result queries pulled from analytics.
+var searchLog = [][]string{
+	{"velvet", "sofa"},     // "velvet" occurs nowhere: vocabulary gap
+	{"oak", "sofa"},        // both keywords exist; no oak sofas: dead join
+	{"walnut", "armchair"}, // walnut exists, armchairs exist, never together
+	{"wool", "lamp"},       // wool exists, lamps exist, never together
+	{"couch", "linen"},     // alive via the category alias "couch"
+	{"steel", "dining"},    // alive: the Ember table
+	{"swedish", "rug"},     // "swedish" missing; country says Sweden
+}
+
+func main() {
+	eng, err := engine.Load(storeScript)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== pass 1: triage the zero-result search log ===")
+	var vocabularyGaps [][]string
+	for _, q := range searchLog {
+		triage(sys, q, &vocabularyGaps)
+	}
+
+	// The merchandiser's fix for vocabulary gaps: extend alias/synonym
+	// columns with the terms shoppers actually type.
+	fmt.Println("\n=== applying vocabulary fixes ===")
+	fixes := []string{
+		"INSERT INTO Material VALUES (6, 'velvet', 'brush gently')",
+		"INSERT INTO Product VALUES (8, 'Velour lounge sofa', 2, 1, 6, 1499.0, 'plush velvet three seater')",
+		"INSERT INTO Brand VALUES (5, 'Hygge Swedish Design', 'Sweden')",
+		"INSERT INTO Product VALUES (9, 'Stockholm flatweave rug', 5, 5, 4, 380.0, 'swedish wool flatweave')",
+	}
+	for _, f := range fixes {
+		if _, err := eng.Exec(f); err != nil {
+			log.Fatal(err)
+		}
+		short := f
+		if len(short) > 60 {
+			short = short[:57] + "..."
+		}
+		fmt.Println("  ", short)
+	}
+
+	fmt.Println("\n=== pass 2: re-run the vocabulary-gap queries ===")
+	for _, q := range vocabularyGaps {
+		triage(sys, q, nil)
+	}
+}
+
+func triage(sys *core.System, q []string, gaps *[][]string) {
+	out, err := sys.Debug(q, core.Options{Strategy: core.SBH})
+	if err != nil {
+		log.Fatal(err)
+	}
+	label := strings.Join(q, " ")
+	switch {
+	case len(out.NonKeywords) > 0:
+		fmt.Printf("%-18s VOCABULARY GAP: %v never occurs in the catalog\n",
+			label, out.NonKeywords)
+		if gaps != nil {
+			*gaps = append(*gaps, q)
+		}
+	case len(out.Answers) > 0:
+		fmt.Printf("%-18s OK: %d live interpretation(s), e.g. %s\n",
+			label, len(out.Answers), out.Answers[0].Tree)
+	default:
+		fmt.Printf("%-18s DEAD JOINS: every keyword exists, but the best the store can do is:\n", label)
+		seen := map[string]bool{}
+		for _, na := range out.NonAnswers {
+			for _, p := range na.MPANs {
+				// Frontiers repeat across dead interpretations; show the
+				// keyword-bearing ones once each.
+				if seen[p.Tree] || !strings.Contains(p.Tree, "#1") && !strings.Contains(p.Tree, "#2") {
+					continue
+				}
+				seen[p.Tree] = true
+				fmt.Printf("%-18s   alive up to: %s\n", "", p.Tree)
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Quickstart: the paper's Example 1 end to end.
+//
+// The Figure 2 product store returns nothing for "saffron scented candle".
+// This program builds the lattice debugger, shows the two dead candidate
+// networks and their maximal alive sub-queries (the frontier causes), then
+// applies the paper's motivating fix — teaching the store that saffron is a
+// shade of yellow — and shows the query coming alive.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+)
+
+func main() {
+	eng, err := figure2.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Phase 0: generate the offline lattice (up to 2 joins covers the
+	// three-table candidate networks of this schema).
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := []string{"saffron", "scented", "candle"}
+	fmt.Printf("keyword query: %v\n\n", query)
+
+	out, err := sys.Debug(query, core.Options{Strategy: core.SBH})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(out)
+
+	// The q1 explanation — "the store has saffron (as a color) and it has
+	// scented candles, but no scented candle in saffron" — tells the
+	// merchandiser the fix: record saffron as a synonym shoppers use for
+	// yellow, and the existing yellow scented candle starts matching.
+	fmt.Println("\n--- applying fix: add 'saffron' to the synonyms of yellow ---")
+	if err := addSaffronSynonym(sys); err != nil {
+		log.Fatal(err)
+	}
+
+	out, err = sys.Debug(query, core.Options{Strategy: core.SBH})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	report(out)
+
+	// The same machinery also serves the shopper directly: for a query that
+	// stays dead, show the maximal sub-queries' products instead of "no
+	// results found" — the paper's Figure 1.
+	fmt.Println("\n--- what a shopper sees for the dead query 'saffron scented incense' ---")
+	_, partial, _, err := sys.SearchPartial([]string{"saffron", "scented", "incense"}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range partial {
+		fmt.Printf("  %d. covers [%s]: %s\n", i+1, strings.Join(p.Covered, ", "), p.SearchResult)
+	}
+}
+
+func report(out *core.Output) {
+	fmt.Printf("%d answer queries, %d non-answers (%d SQL probes)\n",
+		len(out.Answers), len(out.NonAnswers), out.Stats.SQLExecuted)
+	for _, a := range out.Answers {
+		fmt.Printf("  ALIVE %s\n", a.Tree)
+	}
+	for _, na := range out.NonAnswers {
+		fmt.Printf("  DEAD  %s\n", na.Query.Tree)
+		for _, p := range na.MPANs {
+			fmt.Printf("        frontier cause — this maximal sub-query is alive: %s\n", p.Tree)
+		}
+	}
+}
+
+// addSaffronSynonym extends the yellow color's synonym list in place, the
+// data repair the paper's introduction motivates.
+func addSaffronSynonym(sys *core.System) error {
+	tbl, ok := sys.Engine().Database().Table("Color")
+	if !ok {
+		return fmt.Errorf("no Color table")
+	}
+	// The yellow row was inserted second (row ID 1).
+	row := tbl.Row(1)
+	if row[1].S != "yellow" {
+		return fmt.Errorf("row 1 is %q, expected yellow", row[1].S)
+	}
+	updated := append(row[:0:0], row...)
+	updated[2].S = row[2].S + ", saffron"
+	if err := tbl.Update(1, updated); err != nil {
+		return err
+	}
+	// In-place updates do not change table sizes, so tell the engine its
+	// inverted index is stale.
+	sys.Engine().InvalidateIndex()
+	return nil
+}

@@ -1,0 +1,3 @@
+module kwsdbg
+
+go 1.22

@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"kwsdbg/internal/dblife"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *Env
+	envErr  error
+)
+
+// testEnv shares one small environment across the package's tests.
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = NewEnv(dblife.Config{Seed: 1, Scale: 0.01})
+	})
+	if envErr != nil {
+		t.Fatalf("NewEnv: %v", envErr)
+	}
+	return envVal
+}
+
+func checkTable(t *testing.T, tab *Table, wantRows int) {
+	t.Helper()
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tab.ID, len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Columns) {
+			t.Fatalf("%s row %d: %d cells, %d columns", tab.ID, i, len(row), len(tab.Columns))
+		}
+	}
+	r := tab.Render()
+	if !strings.Contains(r, tab.ID) || !strings.Contains(r, tab.Columns[0]) {
+		t.Errorf("%s: render missing header:\n%s", tab.ID, r)
+	}
+}
+
+func TestFig9(t *testing.T) {
+	env := testEnv(t)
+	a, err := Fig9a(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, a, 3)
+	b, err := Fig9b(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, b, 3)
+	// Node counts grow with level.
+	if a.Rows[2][3] <= a.Rows[1][3] && len(a.Rows[2][3]) <= len(a.Rows[1][3]) {
+		t.Errorf("level 3 kept %s not above level 2 %s", a.Rows[2][3], a.Rows[1][3])
+	}
+}
+
+func TestTable2(t *testing.T) {
+	checkTable(t, Table2(), 10)
+}
+
+func TestPhase12AndFig10(t *testing.T) {
+	env := testEnv(t)
+	p, err := Phase12(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, p, 10)
+	f, err := Fig10(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f, 10)
+}
+
+func TestFig11And12(t *testing.T) {
+	env := testEnv(t)
+	f11, err := Fig11(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f11, 10)
+	f12, err := Fig12(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f12, 10)
+}
+
+func TestTable3And4(t *testing.T) {
+	env := testEnv(t)
+	t3, err := Table3(env, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t3, 10)
+	t4, err := Table4(env, "Q3", []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t4, 2)
+	if _, err := Table4(env, "Q99", []int{2}); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestFig13(t *testing.T) {
+	env := testEnv(t)
+	f, err := Fig13(env, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f, 10)
+}
+
+func TestAlternatives(t *testing.T) {
+	env := testEnv(t)
+	f, err := Alternatives(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f, 10)
+	if f.ID != "fig14" {
+		t.Errorf("ID = %s", f.ID)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := testEnv(t)
+	pa, err := AblationPa(env, 3, []float64{0.25, 0.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, pa, 10)
+	cp, err := AblationCopies(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, cp, 3)
+}
+
+func TestEnvSystemErrors(t *testing.T) {
+	env := testEnv(t)
+	if _, err := env.System(0); err == nil {
+		t.Error("level 0 accepted")
+	}
+	// Cached path returns the same instance.
+	a, err := env.System(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.System(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("System(3) not cached")
+	}
+}
+
+func TestRNCoverage(t *testing.T) {
+	env := testEnv(t)
+	tab, err := RNCoverage(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 10)
+}
+
+func TestOnlineCN(t *testing.T) {
+	env := testEnv(t)
+	tab, err := OnlineCN(env, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 10)
+}
+
+func TestEnvLatticeCache(t *testing.T) {
+	env, err := NewEnv(dblife.Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.CacheDir = t.TempDir()
+	a, err := env.System(3)
+	if err != nil {
+		t.Fatalf("generate+save: %v", err)
+	}
+	// A fresh env with the same cache dir loads instead of regenerating.
+	env2, err := NewEnv(dblife.Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2.CacheDir = env.CacheDir
+	b, err := env2.System(3)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if a.Lattice().Len() != b.Lattice().Len() {
+		t.Errorf("cached lattice differs: %d vs %d", a.Lattice().Len(), b.Lattice().Len())
+	}
+}
+
+func TestAblationSkew(t *testing.T) {
+	env := testEnv(t)
+	tab, err := AblationSkew(env, 3, 1.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 10)
+}

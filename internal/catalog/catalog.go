@@ -1,0 +1,319 @@
+// Package catalog defines relational schemas and the key-foreign-key schema
+// graph that keyword search over structured data (KWS-S) systems navigate.
+//
+// A Schema is a set of relations plus a set of join edges. Each join edge
+// records one key-foreign-key association between two relations, exactly the
+// arrows drawn in Figure 2 and Figure 8 of the paper. The lattice generator
+// (package lattice) walks this graph to enumerate join-query templates, and
+// the execution engine (package engine) uses the same edges to plan joins.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColType is the type of a column. The engine supports the three types the
+// paper's datasets need: integers (keys), text, and floats (prices etc.).
+type ColType int
+
+// Supported column types.
+const (
+	Int ColType = iota
+	Text
+	Float
+)
+
+// String returns the SQL spelling of the type.
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Text:
+		return "TEXT"
+	case Float:
+		return "FLOAT"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type ColType
+	// PrimaryKey marks the relation's key column. At most one column per
+	// relation may set it; composite keys are not needed for the paper's
+	// schemas.
+	PrimaryKey bool
+}
+
+// Relation describes one table: its name and ordered columns.
+type Relation struct {
+	Name    string
+	Columns []Column
+
+	byName map[string]int
+}
+
+// NewRelation builds a relation and validates its column list.
+func NewRelation(name string, cols ...Column) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("catalog: relation name must be nonempty")
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("catalog: relation %q must have at least one column", name)
+	}
+	r := &Relation{Name: name, Columns: cols, byName: make(map[string]int, len(cols))}
+	pk := 0
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("catalog: relation %q: column %d has empty name", name, i)
+		}
+		if _, dup := r.byName[c.Name]; dup {
+			return nil, fmt.Errorf("catalog: relation %q: duplicate column %q", name, c.Name)
+		}
+		r.byName[c.Name] = i
+		if c.PrimaryKey {
+			pk++
+			if c.Type != Int {
+				return nil, fmt.Errorf("catalog: relation %q: primary key %q must be INT", name, c.Name)
+			}
+		}
+	}
+	if pk > 1 {
+		return nil, fmt.Errorf("catalog: relation %q: more than one primary key column", name)
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation that panics on error, for static schemas.
+func MustRelation(name string, cols ...Column) *Relation {
+	r, err := NewRelation(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (r *Relation) ColumnIndex(name string) int {
+	if i, ok := r.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Column returns the named column and whether it exists.
+func (r *Relation) Column(name string) (Column, bool) {
+	i := r.ColumnIndex(name)
+	if i < 0 {
+		return Column{}, false
+	}
+	return r.Columns[i], true
+}
+
+// PrimaryKey returns the name of the primary key column, or "".
+func (r *Relation) PrimaryKey() string {
+	for _, c := range r.Columns {
+		if c.PrimaryKey {
+			return c.Name
+		}
+	}
+	return ""
+}
+
+// TextColumns returns the names of all text-typed columns, in schema order.
+// These are the columns the inverted index covers.
+func (r *Relation) TextColumns() []string {
+	var out []string
+	for _, c := range r.Columns {
+		if c.Type == Text {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Edge is one key-foreign-key association in the schema graph: From.FromCol
+// references To.ToCol. Edges are undirected for the purpose of join
+// enumeration; the direction only records which side holds the foreign key.
+type Edge struct {
+	From    string // relation holding the foreign key
+	FromCol string
+	To      string // relation holding the referenced key
+	ToCol   string
+}
+
+// String renders the edge as "From.FromCol->To.ToCol".
+func (e Edge) String() string {
+	return e.From + "." + e.FromCol + "->" + e.To + "." + e.ToCol
+}
+
+// Other returns the relation on the opposite end from rel, and whether rel is
+// actually an endpoint of the edge.
+func (e Edge) Other(rel string) (string, bool) {
+	switch rel {
+	case e.From:
+		return e.To, true
+	case e.To:
+		return e.From, true
+	default:
+		return "", false
+	}
+}
+
+// Schema is a set of relations plus the key-foreign-key schema graph over
+// them. It is immutable after Build; all lookups are safe for concurrent use.
+type Schema struct {
+	relations []*Relation
+	byName    map[string]*Relation
+	edges     []Edge
+	// incident[rel] lists the indexes into edges of all edges touching rel.
+	incident map[string][]int
+}
+
+// SchemaBuilder accumulates relations and edges and validates the result.
+type SchemaBuilder struct {
+	relations []*Relation
+	edges     []Edge
+	err       error
+}
+
+// NewSchemaBuilder returns an empty builder.
+func NewSchemaBuilder() *SchemaBuilder { return &SchemaBuilder{} }
+
+// AddRelation registers a relation. The first error encountered is retained
+// and returned by Build.
+func (b *SchemaBuilder) AddRelation(r *Relation) *SchemaBuilder {
+	if b.err == nil && r == nil {
+		b.err = fmt.Errorf("catalog: nil relation")
+	}
+	if b.err == nil {
+		b.relations = append(b.relations, r)
+	}
+	return b
+}
+
+// AddEdge registers a key-foreign-key association from.fromCol -> to.toCol.
+func (b *SchemaBuilder) AddEdge(from, fromCol, to, toCol string) *SchemaBuilder {
+	if b.err == nil {
+		b.edges = append(b.edges, Edge{From: from, FromCol: fromCol, To: to, ToCol: toCol})
+	}
+	return b
+}
+
+// Build validates the accumulated definition and returns the Schema.
+func (b *SchemaBuilder) Build() (*Schema, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	s := &Schema{
+		relations: b.relations,
+		byName:    make(map[string]*Relation, len(b.relations)),
+		edges:     b.edges,
+		incident:  make(map[string][]int),
+	}
+	for _, r := range b.relations {
+		if _, dup := s.byName[r.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate relation %q", r.Name)
+		}
+		s.byName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(b.edges))
+	for i, e := range b.edges {
+		for _, end := range []struct{ rel, col string }{{e.From, e.FromCol}, {e.To, e.ToCol}} {
+			r, ok := s.byName[end.rel]
+			if !ok {
+				return nil, fmt.Errorf("catalog: edge %s refers to unknown relation %q", e, end.rel)
+			}
+			if r.ColumnIndex(end.col) < 0 {
+				return nil, fmt.Errorf("catalog: edge %s refers to unknown column %s.%s", e, end.rel, end.col)
+			}
+		}
+		if e.From == e.To && e.FromCol == e.ToCol {
+			return nil, fmt.Errorf("catalog: edge %s is a self loop on a single column", e)
+		}
+		if seen[e.String()] {
+			return nil, fmt.Errorf("catalog: duplicate edge %s", e)
+		}
+		seen[e.String()] = true
+		s.incident[e.From] = append(s.incident[e.From], i)
+		if e.To != e.From {
+			s.incident[e.To] = append(s.incident[e.To], i)
+		}
+	}
+	return s, nil
+}
+
+// MustBuild is Build that panics on error, for static schemas.
+func (b *SchemaBuilder) MustBuild() *Schema {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relation returns the named relation and whether it exists.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.byName[name]
+	return r, ok
+}
+
+// Relations returns the relations in registration order. The slice must not
+// be modified.
+func (s *Schema) Relations() []*Relation { return s.relations }
+
+// RelationNames returns the relation names sorted lexicographically.
+func (s *Schema) RelationNames() []string {
+	names := make([]string, 0, len(s.relations))
+	for _, r := range s.relations {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Edges returns all schema-graph edges. The slice must not be modified.
+func (s *Schema) Edges() []Edge { return s.edges }
+
+// EdgeID returns the index of e within Edges, or -1 if it is not part of the
+// schema. Edge identity is by value.
+func (s *Schema) EdgeID(e Edge) int {
+	for i, have := range s.edges {
+		if have == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// Incident returns the edges touching the named relation, as indexes into
+// Edges. The slice must not be modified.
+func (s *Schema) Incident(rel string) []int { return s.incident[rel] }
+
+// String renders a compact description of the schema, useful in logs.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for _, r := range s.relations {
+		sb.WriteString(r.Name)
+		sb.WriteByte('(')
+		for i, c := range r.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(c.Name)
+			if c.PrimaryKey {
+				sb.WriteByte('*')
+			}
+		}
+		sb.WriteString(")\n")
+	}
+	for _, e := range s.edges {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

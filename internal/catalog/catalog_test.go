@@ -1,0 +1,241 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func personRel(t *testing.T) *Relation {
+	t.Helper()
+	r, err := NewRelation("Person",
+		Column{Name: "id", Type: Int, PrimaryKey: true},
+		Column{Name: "name", Type: Text},
+		Column{Name: "score", Type: Float},
+	)
+	if err != nil {
+		t.Fatalf("NewRelation: %v", err)
+	}
+	return r
+}
+
+func TestNewRelationValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		relName string
+		cols    []Column
+		wantErr string
+	}{
+		{"empty name", "", []Column{{Name: "a", Type: Int}}, "name must be nonempty"},
+		{"no columns", "R", nil, "at least one column"},
+		{"empty column name", "R", []Column{{Name: "", Type: Int}}, "empty name"},
+		{"duplicate column", "R", []Column{{Name: "a", Type: Int}, {Name: "a", Type: Text}}, "duplicate column"},
+		{"two primary keys", "R", []Column{
+			{Name: "a", Type: Int, PrimaryKey: true},
+			{Name: "b", Type: Int, PrimaryKey: true},
+		}, "more than one primary key"},
+		{"text primary key", "R", []Column{{Name: "a", Type: Text, PrimaryKey: true}}, "must be INT"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRelation(tc.relName, tc.cols...)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRelationLookups(t *testing.T) {
+	r := personRel(t)
+	if got := r.ColumnIndex("name"); got != 1 {
+		t.Errorf("ColumnIndex(name) = %d, want 1", got)
+	}
+	if got := r.ColumnIndex("missing"); got != -1 {
+		t.Errorf("ColumnIndex(missing) = %d, want -1", got)
+	}
+	if c, ok := r.Column("score"); !ok || c.Type != Float {
+		t.Errorf("Column(score) = %+v, %v", c, ok)
+	}
+	if _, ok := r.Column("nope"); ok {
+		t.Error("Column(nope) unexpectedly found")
+	}
+	if pk := r.PrimaryKey(); pk != "id" {
+		t.Errorf("PrimaryKey = %q, want id", pk)
+	}
+	if tc := r.TextColumns(); len(tc) != 1 || tc[0] != "name" {
+		t.Errorf("TextColumns = %v, want [name]", tc)
+	}
+}
+
+func TestRelationWithoutPrimaryKey(t *testing.T) {
+	r := MustRelation("Edge", Column{Name: "a", Type: Int}, Column{Name: "b", Type: Int})
+	if pk := r.PrimaryKey(); pk != "" {
+		t.Errorf("PrimaryKey = %q, want empty", pk)
+	}
+	if tc := r.TextColumns(); tc != nil {
+		t.Errorf("TextColumns = %v, want nil", tc)
+	}
+}
+
+func TestMustRelationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelation did not panic on invalid input")
+		}
+	}()
+	MustRelation("")
+}
+
+func buildTwoTableSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchemaBuilder().
+		AddRelation(MustRelation("R",
+			Column{Name: "id", Type: Int, PrimaryKey: true},
+			Column{Name: "b", Type: Int})).
+		AddRelation(MustRelation("S",
+			Column{Name: "c", Type: Int, PrimaryKey: true},
+			Column{Name: "d", Type: Text})).
+		AddEdge("R", "b", "S", "c").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return s
+}
+
+func TestSchemaBuild(t *testing.T) {
+	s := buildTwoTableSchema(t)
+	if _, ok := s.Relation("R"); !ok {
+		t.Error("Relation(R) missing")
+	}
+	if _, ok := s.Relation("missing"); ok {
+		t.Error("Relation(missing) unexpectedly found")
+	}
+	if got := len(s.Edges()); got != 1 {
+		t.Fatalf("len(Edges) = %d, want 1", got)
+	}
+	e := s.Edges()[0]
+	if e.String() != "R.b->S.c" {
+		t.Errorf("edge = %q", e.String())
+	}
+	if id := s.EdgeID(e); id != 0 {
+		t.Errorf("EdgeID = %d, want 0", id)
+	}
+	if id := s.EdgeID(Edge{From: "X"}); id != -1 {
+		t.Errorf("EdgeID(unknown) = %d, want -1", id)
+	}
+	if got := s.RelationNames(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("RelationNames = %v", got)
+	}
+}
+
+func TestSchemaIncident(t *testing.T) {
+	s := buildTwoTableSchema(t)
+	for _, rel := range []string{"R", "S"} {
+		inc := s.Incident(rel)
+		if len(inc) != 1 || inc[0] != 0 {
+			t.Errorf("Incident(%s) = %v, want [0]", rel, inc)
+		}
+	}
+	if inc := s.Incident("missing"); inc != nil {
+		t.Errorf("Incident(missing) = %v, want nil", inc)
+	}
+}
+
+func TestSchemaBuildErrors(t *testing.T) {
+	r := MustRelation("R", Column{Name: "id", Type: Int, PrimaryKey: true}, Column{Name: "b", Type: Int})
+	tests := []struct {
+		name    string
+		build   func() (*Schema, error)
+		wantErr string
+	}{
+		{"duplicate relation", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(r).AddRelation(r).Build()
+		}, "duplicate relation"},
+		{"unknown relation in edge", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(r).AddEdge("R", "b", "S", "c").Build()
+		}, "unknown relation"},
+		{"unknown column in edge", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(r).AddEdge("R", "zz", "R", "id").Build()
+		}, "unknown column"},
+		{"self loop", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(r).AddEdge("R", "id", "R", "id").Build()
+		}, "self loop"},
+		{"duplicate edge", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(r).
+				AddEdge("R", "b", "R", "id").
+				AddEdge("R", "b", "R", "id").Build()
+		}, "duplicate edge"},
+		{"nil relation", func() (*Schema, error) {
+			return NewSchemaBuilder().AddRelation(nil).Build()
+		}, "nil relation"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build()
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSelfJoinEdgeAllowed(t *testing.T) {
+	// A relationship table may reference the same relation twice (coauthor),
+	// and a relation may have an edge to itself on distinct columns.
+	s, err := NewSchemaBuilder().
+		AddRelation(MustRelation("Person", Column{Name: "id", Type: Int, PrimaryKey: true})).
+		AddRelation(MustRelation("coauthor", Column{Name: "p1", Type: Int}, Column{Name: "p2", Type: Int})).
+		AddEdge("coauthor", "p1", "Person", "id").
+		AddEdge("coauthor", "p2", "Person", "id").
+		Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(s.Incident("Person")); got != 2 {
+		t.Errorf("Incident(Person) has %d edges, want 2", got)
+	}
+	if got := len(s.Incident("coauthor")); got != 2 {
+		t.Errorf("Incident(coauthor) has %d edges, want 2", got)
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{From: "R", FromCol: "b", To: "S", ToCol: "c"}
+	if o, ok := e.Other("R"); !ok || o != "S" {
+		t.Errorf("Other(R) = %q, %v", o, ok)
+	}
+	if o, ok := e.Other("S"); !ok || o != "R" {
+		t.Errorf("Other(S) = %q, %v", o, ok)
+	}
+	if _, ok := e.Other("X"); ok {
+		t.Error("Other(X) unexpectedly ok")
+	}
+}
+
+func TestColTypeString(t *testing.T) {
+	for want, ct := range map[string]ColType{"INT": Int, "TEXT": Text, "FLOAT": Float} {
+		if got := ct.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", int(ct), got, want)
+		}
+	}
+	if got := ColType(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown ColType string = %q", got)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := buildTwoTableSchema(t)
+	str := s.String()
+	for _, want := range []string{"R(id*, b)", "S(c*, d)", "R.b->S.c"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("Schema.String() missing %q:\n%s", want, str)
+		}
+	}
+}

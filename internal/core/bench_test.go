@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+)
+
+func benchSystem(b *testing.B) *System {
+	b.Helper()
+	eng, err := figure2.Engine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkDebugStrategies measures the full online pipeline per strategy on
+// the Figure 2 running example.
+func BenchmarkDebugStrategies(b *testing.B) {
+	sys := benchSystem(b)
+	kws := []string{"saffron", "scented", "candle"}
+	for _, strat := range append(append([]Strategy{}, Strategies...), RE) {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Debug(kws, Options{Strategy: strat}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhase12 isolates keyword binding, pruning, and MTN discovery.
+func BenchmarkPhase12(b *testing.B) {
+	sys := benchSystem(b)
+	kws := []string{"saffron", "scented", "candle"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Analyze(kws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSublatticeBuild isolates the Phase 2 closure construction.
+func BenchmarkSublatticeBuild(b *testing.B) {
+	sys := benchSystem(b)
+	ph, err := sys.phase12([]string{"saffron", "scented", "candle"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sub := buildSublattice(sys.lat, ph.mtnIDs); sub.len() == 0 {
+			b.Fatal("empty sublattice")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+)
+
+// Example reproduces the paper's Example 1: the keyword query
+// "saffron scented candle" over the Figure 2 product store, with every
+// non-answer explained by its maximal alive sub-queries.
+func Example() {
+	eng, err := figure2.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := sys.Debug([]string{"saffron", "scented", "candle"},
+		core.Options{Strategy: core.SBH})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, na := range out.NonAnswers {
+		fmt.Println("dead:", na.Query.Tree)
+		for _, p := range na.MPANs {
+			fmt.Println("  alive up to:", p.Tree)
+		}
+	}
+	// Output:
+	// dead: Attr#1-Item#2-Item#3
+	//   alive up to: Attr#1-Item#2
+	//   alive up to: Item#3
+	// dead: Attr#1-Item#2-PType#3
+	//   alive up to: Attr#1-Item#2
+	//   alive up to: Item#2-PType#3
+	// dead: Color#1-Item#2-Item#3
+	//   alive up to: Color#1
+	//   alive up to: Item#2
+	//   alive up to: Item#3
+	// dead: Color#1-Item#2-PType#3
+	//   alive up to: Item#2-PType#3
+	//   alive up to: Color#1
+}
+
+// ExampleSystem_Search shows the end-user side: ranked joined tuples.
+func ExampleSystem_Search() {
+	eng, err := figure2.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, _, err := sys.Search([]string{"checkered", "candle"}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%.1f %s\n", r.Score, r.Query.Tree)
+	}
+	// The checkered candle connects through its pattern attribute (the
+	// keyword occurs in both the item text and the attribute value) and
+	// directly through its product type.
+	// Output:
+	// 1.5 Attr#1-Item#2
+	// 1.5 Item#1-PType#2
+}

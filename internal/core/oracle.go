@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"time"
+
+	"kwsdbg/internal/lattice"
+)
+
+// Oracle answers aliveness probes for lattice nodes: does the node's
+// instantiated query return at least one tuple? Implementations count every
+// probe — the number of SQL queries executed is the quantity the paper's
+// evaluation compares across traversal strategies.
+type Oracle interface {
+	// IsAlive executes the node's existence query.
+	IsAlive(nodeID int) (bool, error)
+	// Stats reports the accumulated execution counts and time.
+	Stats() OracleStats
+}
+
+// OracleStats accumulates the execution effort of one debugging run.
+type OracleStats struct {
+	Executed int           // SQL queries issued
+	SQLTime  time.Duration // wall time spent executing them
+}
+
+// sqlOracle renders each node's "SELECT 1 ... LIMIT 1" probe and runs it
+// through database/sql, exactly as the paper's Java implementation issued
+// probes through JDBC.
+type sqlOracle struct {
+	ctx      context.Context
+	lat      *lattice.Lattice
+	db       *sql.DB
+	keywords []string
+	stats    OracleStats
+}
+
+func newSQLOracle(ctx context.Context, lat *lattice.Lattice, db *sql.DB, keywords []string) *sqlOracle {
+	return &sqlOracle{ctx: ctx, lat: lat, db: db, keywords: keywords}
+}
+
+// IsAlive implements Oracle.
+func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
+	query, err := o.lat.SQL(o.lat.Node(nodeID), o.keywords, true)
+	if err != nil {
+		return false, fmt.Errorf("core: render node %d: %w", nodeID, err)
+	}
+	start := time.Now()
+	rows, err := o.db.QueryContext(o.ctx, query)
+	if err != nil {
+		return false, fmt.Errorf("core: execute %q: %w", query, err)
+	}
+	alive := rows.Next()
+	closeErr := rows.Close()
+	if err := rows.Err(); err != nil {
+		return false, err
+	}
+	if closeErr != nil {
+		return false, closeErr
+	}
+	o.stats.Executed++
+	o.stats.SQLTime += time.Since(start)
+	return alive, nil
+}
+
+// Stats implements Oracle.
+func (o *sqlOracle) Stats() OracleStats { return o.stats }

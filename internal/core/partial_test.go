@@ -1,0 +1,90 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSearchPartialFigure1 reproduces the paper's Figure 1: the dead query
+// "saffron scented candle" yields partial results covering two of the three
+// keywords — saffron-scented products and scented candles — instead of an
+// empty page.
+func TestSearchPartialFigure1(t *testing.T) {
+	sys := productSystem(t)
+	// Use a filter to drop the shared-PType interpretation, which is alive
+	// and would short-circuit into full results; the paper's Figure 1
+	// scenario is the all-dead case.
+	full, partial, missing, err := sys.SearchPartial([]string{"saffron", "scented", "incense"}, 10)
+	if err != nil {
+		t.Fatalf("SearchPartial: %v", err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(full) != 0 {
+		t.Fatalf("expected no full results, got %d", len(full))
+	}
+	if len(partial) == 0 {
+		t.Fatal("no partial results for a dead query")
+	}
+	// Coverage-first ordering, and every partial covers a strict subset.
+	for i, p := range partial {
+		if len(p.Covered) == 0 || len(p.Covered) >= 3 {
+			t.Errorf("partial %d covers %v", i, p.Covered)
+		}
+		if i > 0 && len(p.Covered) > len(partial[i-1].Covered) {
+			t.Errorf("partial %d out of coverage order", i)
+		}
+	}
+	// The two-keyword frontier "saffron scented" must surface (the oil).
+	found := false
+	for _, p := range partial {
+		if reflect.DeepEqual(p.Covered, []string{"saffron", "scented"}) &&
+			strings.Contains(p.String(), "saffron scented oil") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("saffron-scented partial missing: %+v", partial)
+	}
+}
+
+func TestSearchPartialFullShortCircuit(t *testing.T) {
+	sys := productSystem(t)
+	full, partial, missing, err := sys.SearchPartial([]string{"scented", "candle"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 || len(partial) > 0 {
+		t.Fatalf("alive query produced partials: %v %v", missing, partial)
+	}
+	if len(full) == 0 {
+		t.Fatal("alive query produced no results")
+	}
+}
+
+func TestSearchPartialMissingKeyword(t *testing.T) {
+	sys := productSystem(t)
+	full, partial, missing, err := sys.SearchPartial([]string{"zzz", "candle"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 0 || len(partial) != 0 || !reflect.DeepEqual(missing, []string{"zzz"}) {
+		t.Fatalf("full=%d partial=%d missing=%v", len(full), len(partial), missing)
+	}
+}
+
+func TestSearchPartialTopK(t *testing.T) {
+	sys := productSystem(t)
+	_, partial, _, err := sys.SearchPartial([]string{"saffron", "scented", "incense"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) > 2 {
+		t.Fatalf("topK=2 returned %d partials", len(partial))
+	}
+	if _, _, _, err := sys.SearchPartial([]string{"candle"}, 0); err == nil {
+		t.Error("topK=0 accepted")
+	}
+}

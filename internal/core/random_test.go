@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/engine"
+	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/storage"
+)
+
+// randomSystem builds a debugger over a randomly shaped schema with random
+// data: 3-6 relations, each with a text column (sometimes two), random
+// key-foreign-key edges forming a connected graph plus extras, and 10-60
+// rows per table drawn from a small vocabulary so keyword queries hit a mix
+// of alive and dead interpretations.
+func randomSystem(t *testing.T, r *rand.Rand) (*System, []string) {
+	t.Helper()
+	vocab := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze"}
+	nRel := 3 + r.Intn(4)
+	b := catalog.NewSchemaBuilder()
+	names := make([]string, nRel)
+	twoText := make([]bool, nRel)
+	for i := range names {
+		names[i] = fmt.Sprintf("R%d", i)
+		cols := []catalog.Column{
+			{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			{Name: "txt", Type: catalog.Text},
+		}
+		for j := 0; j < i; j++ {
+			cols = append(cols, catalog.Column{Name: fmt.Sprintf("fk%d", j), Type: catalog.Int})
+		}
+		if r.Intn(3) == 0 {
+			twoText[i] = true
+			cols = append(cols, catalog.Column{Name: "extra", Type: catalog.Text})
+		}
+		b.AddRelation(catalog.MustRelation(names[i], cols...))
+	}
+	// Connect relation i to one random earlier relation through column fk_j
+	// (guarantees a connected schema graph), then occasionally wire one of
+	// its remaining fk columns to a second relation, giving branchier
+	// schema graphs and parallel join paths.
+	for i := 1; i < nRel; i++ {
+		j := r.Intn(i)
+		b.AddEdge(names[i], fmt.Sprintf("fk%d", j), names[j], "id")
+		if i >= 2 && r.Intn(2) == 0 {
+			j2 := (j + 1 + r.Intn(i-1)) % i
+			if j2 != j {
+				b.AddEdge(names[i], fmt.Sprintf("fk%d", j2), names[j2], "id")
+			}
+		}
+	}
+	schema := b.MustBuild()
+	db := storage.NewDatabase(schema)
+	for i, name := range names {
+		tbl, _ := db.Table(name)
+		rows := 10 + r.Intn(50)
+		for id := 1; id <= rows; id++ {
+			row := storage.Row{storage.IntV(int64(id))}
+			row = append(row, storage.TextV(vocab[r.Intn(len(vocab))]+" "+vocab[r.Intn(len(vocab))]))
+			for j := 0; j < i; j++ {
+				row = append(row, storage.IntV(int64(1+r.Intn(40))))
+			}
+			if twoText[i] {
+				row = append(row, storage.TextV(vocab[r.Intn(len(vocab))]))
+			}
+			tbl.MustInsert(row)
+		}
+	}
+	eng := engine.New(db)
+	sys, err := Build(eng, lattice.Options{MaxJoins: 2, KeywordSlots: 3, Workers: 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return sys, vocab
+}
+
+// TestRandomSchemaStrategyEquivalence is the heavyweight correctness sweep:
+// across random schemas, random data, and random keyword queries, every
+// traversal strategy must agree with the Return Everything oracle on
+// answers, non-answers, and MPAN sets.
+func TestRandomSchemaStrategyEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep is slow")
+	}
+	r := rand.New(rand.NewSource(20150327))
+	vocabPlus := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze", "missing"}
+	for trial := 0; trial < 12; trial++ {
+		sys, _ := randomSystem(t, r)
+		for q := 0; q < 6; q++ {
+			nk := 1 + r.Intn(3)
+			kws := make([]string, nk)
+			for i := range kws {
+				kws[i] = vocabPlus[r.Intn(len(vocabPlus))]
+			}
+			ref, err := sys.Debug(kws, Options{Strategy: RE})
+			if err != nil {
+				t.Fatalf("trial %d %v RE: %v", trial, kws, err)
+			}
+			want := canonical(ref)
+			for _, strat := range Strategies {
+				out, err := sys.Debug(kws, Options{Strategy: strat})
+				if err != nil {
+					t.Fatalf("trial %d %v %v: %v", trial, kws, strat, err)
+				}
+				if got := canonical(out); !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d %v: %v diverges from RE\ngot:  %v\nwant: %v",
+						trial, kws, strat, got, want)
+				}
+				if out.Stats.SQLExecuted > ref.Stats.SQLExecuted &&
+					(strat == BUWR || strat == TDWR || strat == SBH) {
+					t.Errorf("trial %d %v: %v executed %d > RE %d",
+						trial, kws, strat, out.Stats.SQLExecuted, ref.Stats.SQLExecuted)
+				}
+			}
+			// Random pa values must not change the outcome either.
+			pa := 0.05 + 0.9*r.Float64()
+			out, err := sys.Debug(kws, Options{Strategy: SBH, Pa: pa})
+			if err != nil {
+				t.Fatalf("trial %d %v SBH(pa=%v): %v", trial, kws, pa, err)
+			}
+			if got := canonical(out); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d %v: SBH(pa=%v) diverges", trial, kws, pa)
+			}
+		}
+	}
+}

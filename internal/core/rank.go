@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"kwsdbg/internal/sqltext"
+)
+
+// RankedAnswer pairs an answer query with its result cardinality.
+type RankedAnswer struct {
+	Query   QueryInfo
+	Results int64
+}
+
+// RankAnswers orders a run's answer queries for presentation: fewer joins
+// first (the size normalization used throughout the KWS-S literature —
+// DISCOVER and Hristidis et al. both prefer smaller candidate networks),
+// and more results first within a join count. It executes one COUNT(*) per
+// answer, which is why it is a separate opt-in step rather than part of
+// Debug: the paper is explicit that debugging must report *all* causes, so
+// ranking is presentation only (§1).
+func (sys *System) RankAnswers(out *Output) ([]RankedAnswer, error) {
+	ranked := make([]RankedAnswer, 0, len(out.Answers))
+	for _, a := range out.Answers {
+		n := sys.lat.Node(a.NodeID)
+		sel, err := sys.lat.Select(n, out.Keywords, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %s: %w", a.Tree, err)
+		}
+		sel.Projection = sqltext.Projection{Count: true}
+		res, err := sys.eng.Select(sel)
+		if err != nil {
+			return nil, fmt.Errorf("core: rank %s: %w", a.Tree, err)
+		}
+		ranked = append(ranked, RankedAnswer{Query: a, Results: res.Rows[0][0].I})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Query.Level != ranked[j].Query.Level {
+			return ranked[i].Query.Level < ranked[j].Query.Level
+		}
+		if ranked[i].Results != ranked[j].Results {
+			return ranked[i].Results > ranked[j].Results
+		}
+		return ranked[i].Query.Tree < ranked[j].Query.Tree
+	})
+	return ranked, nil
+}

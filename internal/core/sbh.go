@@ -1,0 +1,83 @@
+package core
+
+import "container/heap"
+
+// scoreBased is the greedy traversal of §2.5.3. Each unclassified node x is
+// scored by the expected shrinkage of the per-MTN search spaces if x were
+// probed:
+//
+//	gain(x) = pa * sum_{y in Desc+(x)} W(y) + (1-pa) * sum_{y in Asc+(x)} W(y)
+//
+// where W(y) counts the active search spaces still containing y. Minimizing
+// the paper's expected-remaining-space score is equivalent to maximizing this
+// gain (the paper's Equation 1 rearranged over the current search spaces).
+// Because W only decreases as the run progresses, gains are monotonically
+// non-increasing, which makes the classic lazy-greedy evaluation exact: pop
+// the stale maximum, recompute its gain, and re-insert unless it still beats
+// the runner-up.
+func (r *run) scoreBased(sd seed, pa float64) error {
+	r.enableSearchSpaces()
+	r.init(sd)
+
+	gain := func(x int) float64 {
+		sumD := float64(r.W[x])
+		for _, d := range r.sub.desc[x] {
+			sumD += float64(r.W[d])
+		}
+		sumA := float64(r.W[x])
+		for _, a := range r.sub.asc[x] {
+			sumA += float64(r.W[a])
+		}
+		return pa*sumD + (1-pa)*sumA
+	}
+
+	h := &gainHeap{}
+	for x := 0; x < r.sub.len(); x++ {
+		if r.status[x] == stUnknown && r.W[x] > 0 {
+			heap.Push(h, gainItem{x: x, gain: gain(x)})
+		}
+	}
+	const eps = 1e-9
+	for h.Len() > 0 {
+		top := heap.Pop(h).(gainItem)
+		if r.status[top.x] != stUnknown || r.W[top.x] == 0 {
+			continue
+		}
+		g := gain(top.x)
+		if h.Len() > 0 && g+eps < (*h)[0].gain {
+			heap.Push(h, gainItem{x: top.x, gain: g})
+			continue
+		}
+		if err := r.evaluate(top.x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gainItem is one heap entry; stale gains are revalidated on pop.
+type gainItem struct {
+	x    int
+	gain float64
+}
+
+// gainHeap is a max-heap on gain with ascending node index as tie-breaker,
+// which keeps runs deterministic.
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].x < h[j].x
+}
+func (h gainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(v any)   { *h = append(*h, v.(gainItem)) }
+func (h *gainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

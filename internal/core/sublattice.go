@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"kwsdbg/internal/lattice"
+)
+
+// sublattice is the Phase 2 restriction of the pruned lattice: the MTNs of a
+// keyword query plus all of their descendants, reindexed densely so traversal
+// state fits in flat arrays and bitsets.
+//
+// Index 0..n-1 are sub-node indexes; nodeID maps back to lattice node IDs.
+// desc/asc are the strict descendant/ancestor index lists of each sub-node
+// (descendants within the sub-lattice are complete, because descendant sets
+// are downward closed; ancestors are restricted to the sub-lattice, which is
+// the scope MPAN maximality is defined over).
+type sublattice struct {
+	lat    *lattice.Lattice
+	nodeID []int       // sub index -> lattice node ID
+	subIdx map[int]int // lattice node ID -> sub index
+	level  []int       // sub index -> lattice level
+
+	children [][]int32 // sub index -> child sub indexes
+	parents  [][]int32 // sub index -> parent sub indexes (within sub)
+
+	desc [][]int32 // strict descendants, sorted
+	asc  [][]int32 // strict ancestors within sub, sorted
+
+	mtns []int // sub indexes of the MTNs, sorted
+
+	// owners[x] lists positions into mtns of the MTNs whose Desc+ contains x.
+	owners [][]int32
+
+	maxLevel int
+}
+
+// buildSublattice collects Desc+(m) for every MTN (given as lattice node IDs)
+// and precomputes the navigation arrays.
+func buildSublattice(lat *lattice.Lattice, mtnIDs []int) *sublattice {
+	s := &sublattice{lat: lat, subIdx: make(map[int]int)}
+
+	// BFS down from the MTNs over lattice children links.
+	var stack []int
+	push := func(id int) {
+		if _, ok := s.subIdx[id]; ok {
+			return
+		}
+		s.subIdx[id] = len(s.nodeID)
+		s.nodeID = append(s.nodeID, id)
+		stack = append(stack, id)
+	}
+	for _, id := range mtnIDs {
+		push(id)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range lat.Node(id).Children {
+			push(c)
+		}
+	}
+
+	// Reorder sub indexes by (level, label) so that index order is a
+	// topological order from the base upward — handy for DP and determinism.
+	order := make([]int, len(s.nodeID))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := lat.Node(s.nodeID[order[a]]), lat.Node(s.nodeID[order[b]])
+		if na.Level != nb.Level {
+			return na.Level < nb.Level
+		}
+		return na.Label < nb.Label
+	})
+	ids := make([]int, len(order))
+	for newIdx, oldIdx := range order {
+		ids[newIdx] = s.nodeID[oldIdx]
+	}
+	s.nodeID = ids
+	s.subIdx = make(map[int]int, len(ids))
+	for i, id := range ids {
+		s.subIdx[id] = i
+	}
+
+	n := len(s.nodeID)
+	s.level = make([]int, n)
+	s.children = make([][]int32, n)
+	s.parents = make([][]int32, n)
+	s.desc = make([][]int32, n)
+	s.asc = make([][]int32, n)
+	for i, id := range s.nodeID {
+		node := lat.Node(id)
+		s.level[i] = node.Level
+		if node.Level > s.maxLevel {
+			s.maxLevel = node.Level
+		}
+		for _, c := range node.Children {
+			s.children[i] = append(s.children[i], int32(s.subIdx[c]))
+		}
+		for _, p := range node.Parents {
+			if pi, ok := s.subIdx[p]; ok {
+				s.parents[i] = append(s.parents[i], int32(pi))
+			}
+		}
+	}
+
+	// Strict descendants, bottom-up: desc(x) = U_c ({c} U desc(c)).
+	for i := 0; i < n; i++ { // index order is level order
+		set := make(map[int32]bool)
+		for _, c := range s.children[i] {
+			set[c] = true
+			for _, d := range s.desc[c] {
+				set[d] = true
+			}
+		}
+		s.desc[i] = sortedKeys(set)
+	}
+	// Strict ancestors, top-down.
+	for i := n - 1; i >= 0; i-- {
+		set := make(map[int32]bool)
+		for _, p := range s.parents[i] {
+			set[p] = true
+			for _, a := range s.asc[p] {
+				set[a] = true
+			}
+		}
+		s.asc[i] = sortedKeys(set)
+	}
+
+	for _, id := range mtnIDs {
+		s.mtns = append(s.mtns, s.subIdx[id])
+	}
+	sort.Ints(s.mtns)
+
+	s.owners = make([][]int32, n)
+	for mi, m := range s.mtns {
+		s.owners[m] = append(s.owners[m], int32(mi))
+		for _, d := range s.desc[m] {
+			s.owners[d] = append(s.owners[d], int32(mi))
+		}
+	}
+	return s
+}
+
+func sortedKeys(set map[int32]bool) []int32 {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]int32, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// len returns the number of sub-lattice nodes.
+func (s *sublattice) len() int { return len(s.nodeID) }
+
+// node returns the lattice node behind a sub index.
+func (s *sublattice) node(i int) *lattice.Node { return s.lat.Node(s.nodeID[i]) }
+
+// descendantStats returns the total (with multiplicity across MTNs) and
+// unique descendant counts of the MTN set — the quantities behind Figure 10
+// and the reuse percentage of Figure 13.
+func (s *sublattice) descendantStats() (total, unique int) {
+	seen := newBitset(s.len())
+	for _, m := range s.mtns {
+		total += len(s.desc[m])
+		for _, d := range s.desc[m] {
+			seen.set(int(d))
+		}
+	}
+	return total, seen.count()
+}

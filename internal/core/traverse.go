@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// status is the classification state of a sub-lattice node.
+type status uint8
+
+const (
+	stUnknown status = iota
+	stAlive
+	stDead
+)
+
+// traverseResult is what every Phase 3 strategy must produce — and, by the
+// paper's correctness argument, produce identically: only the number of SQL
+// probes differs between strategies.
+type traverseResult struct {
+	aliveMTNs []int         // sub indexes, sorted
+	deadMTNs  []int         // sub indexes, sorted
+	mpans     map[int][]int // dead MTN sub index -> sorted MPAN sub indexes
+}
+
+// run carries the shared classification state of one traversal: node
+// statuses, the per-MTN candidate-MPAN sets (Algorithm 3's MP), and — for
+// the score-based heuristic — the per-MTN search spaces S and the membership
+// counters W.
+type run struct {
+	sub    *sublattice
+	oracle Oracle
+	// active marks which MTN positions (into sub.mtns) this run maintains;
+	// the no-reuse strategies run one position at a time.
+	active bitset
+
+	status   []status
+	inferred int // classifications that did not execute SQL
+
+	// mp[mi] is the candidate MPAN set of MTN position mi (nil when inactive).
+	mp []bitset
+
+	// S and W are only allocated by the score-based heuristic: S[mi] is the
+	// unresolved search space of MTN position mi and W[x] counts how many
+	// active search spaces still contain x.
+	S []bitset
+	W []int32
+}
+
+func newRun(sub *sublattice, oracle Oracle, positions []int) *run {
+	r := &run{
+		sub:    sub,
+		oracle: oracle,
+		active: newBitset(len(sub.mtns)),
+		status: make([]status, sub.len()),
+		mp:     make([]bitset, len(sub.mtns)),
+	}
+	for _, mi := range positions {
+		r.active.set(mi)
+		m := sub.mtns[mi]
+		r.mp[mi] = newBitset(sub.len())
+		for _, d := range sub.desc[m] {
+			r.mp[mi].set(int(d))
+		}
+	}
+	return r
+}
+
+// enableSearchSpaces allocates the SBH state (S and W) for the active MTNs.
+// Must be called before any classification.
+func (r *run) enableSearchSpaces() {
+	r.S = make([]bitset, len(r.sub.mtns))
+	r.W = make([]int32, r.sub.len())
+	r.active.forEach(func(mi int) {
+		m := r.sub.mtns[mi]
+		s := newBitset(r.sub.len())
+		s.set(m)
+		r.W[m]++
+		for _, d := range r.sub.desc[m] {
+			s.set(int(d))
+			r.W[d]++
+		}
+		r.S[mi] = s
+	})
+}
+
+// removeFromS drops x from MTN position mi's search space.
+func (r *run) removeFromS(mi, x int) {
+	if r.S == nil || r.S[mi] == nil {
+		return
+	}
+	if r.S[mi].has(x) {
+		r.S[mi].clear(x)
+		r.W[x]--
+	}
+}
+
+// classify records a node's aliveness and applies the paper's two node
+// classification rules: R1 (alive => all descendants alive) downward and
+// R2 (a node with a dead descendant is dead) upward, maintaining the MPAN
+// candidate sets and search spaces along the way. Re-classification of an
+// already-known node is a no-op; classifications triggered recursively are
+// the "inferred" ones that save SQL probes.
+func (r *run) classify(x int, isAlive, inferred bool) {
+	if r.status[x] != stUnknown {
+		return
+	}
+	if inferred {
+		r.inferred++
+	}
+	if isAlive {
+		r.status[x] = stAlive
+		for _, mi := range r.sub.owners[x] {
+			if !r.active.has(int(mi)) {
+				continue
+			}
+			// x stays a candidate MPAN; its strict descendants cannot be
+			// maximal, and the whole Desc+(x) needs no further probing.
+			for _, d := range r.sub.desc[x] {
+				r.mp[mi].clear(int(d))
+				r.removeFromS(int(mi), int(d))
+			}
+			r.removeFromS(int(mi), x)
+		}
+		for _, d := range r.sub.desc[x] {
+			r.classify(int(d), true, true)
+		}
+		return
+	}
+	r.status[x] = stDead
+	for _, mi := range r.sub.owners[x] {
+		if !r.active.has(int(mi)) {
+			continue
+		}
+		r.mp[mi].clear(x)
+		r.removeFromS(int(mi), x)
+	}
+	for _, a := range r.sub.asc[x] {
+		r.classify(int(a), false, true)
+	}
+}
+
+// evaluate resolves a node's status with an oracle probe (unless known).
+func (r *run) evaluate(x int) error {
+	if r.status[x] != stUnknown {
+		return nil
+	}
+	alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
+	if err != nil {
+		return err
+	}
+	r.classify(x, alive, false)
+	return nil
+}
+
+// seed carries the probe-free knowledge a traversal starts from: the
+// base-level classification rule and any pinned hypothetical facts from an
+// interactive session.
+type seed struct {
+	baseAlive func(nodeID int) bool
+	// pins maps lattice node IDs to assumed aliveness; pins are applied
+	// before anything else and propagate through rules R1/R2, so a
+	// pinned-alive node implies its whole sub-query tree alive.
+	pins map[int]bool
+}
+
+// init applies the seed: pins first (in ascending node order, so conflicts
+// resolve deterministically), then the level-1 rule. Base nodes are
+// classified without SQL: keyword-bound base nodes are alive by Phase 1's
+// index check; free base nodes are alive iff their table is non-empty. This
+// matches Algorithm 3, which skips execSQL for the nodes in B.
+func (r *run) init(sd seed) {
+	if len(sd.pins) > 0 {
+		ids := make([]int, 0, len(sd.pins))
+		for id := range sd.pins {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			if x, ok := r.sub.subIdx[id]; ok {
+				r.classify(x, sd.pins[id], true)
+			}
+		}
+	}
+	for x := 0; x < r.sub.len() && r.sub.level[x] == 1; x++ {
+		r.classify(x, sd.baseAlive(r.sub.nodeID[x]), true)
+	}
+}
+
+// region returns the Desc+ closure of the active MTNs as a bitset.
+func (r *run) region() bitset {
+	reg := newBitset(r.sub.len())
+	r.active.forEach(func(mi int) {
+		m := r.sub.mtns[mi]
+		reg.set(m)
+		for _, d := range r.sub.desc[m] {
+			reg.set(int(d))
+		}
+	})
+	return reg
+}
+
+// isActiveMTN reports whether sub node x is one of the run's active MTNs.
+func (r *run) isActiveMTN(x int) bool {
+	for _, mi := range r.sub.owners[x] {
+		if r.active.has(int(mi)) && r.sub.mtns[mi] == x {
+			return true
+		}
+	}
+	return false
+}
+
+// bottomUp is Algorithm 3 (BUWR) restricted to the active MTNs; with a
+// single active MTN and a fresh run it is plain BU. Levels are processed
+// upward; the next level holds the in-region parents of alive non-MTN nodes.
+func (r *run) bottomUp(sd seed) error {
+	reg := r.region()
+	buckets := make([][]int, r.sub.maxLevel+1)
+	queued := newBitset(r.sub.len())
+
+	r.init(sd)
+	enqueueParents := func(x int) {
+		if r.isActiveMTN(x) {
+			return
+		}
+		for _, p := range r.sub.parents[x] {
+			pi := int(p)
+			if reg.has(pi) && !queued.has(pi) {
+				queued.set(pi)
+				buckets[r.sub.level[pi]] = append(buckets[r.sub.level[pi]], pi)
+			}
+		}
+	}
+	for x := 0; x < r.sub.len() && r.sub.level[x] == 1; x++ {
+		if reg.has(x) && r.status[x] == stAlive {
+			enqueueParents(x)
+		}
+	}
+	for level := 2; level <= r.sub.maxLevel; level++ {
+		sort.Ints(buckets[level])
+		for _, x := range buckets[level] {
+			if err := r.evaluate(x); err != nil {
+				return err
+			}
+			if r.status[x] == stAlive {
+				enqueueParents(x)
+			}
+		}
+	}
+	return nil
+}
+
+// topDown descends from the active MTNs: children of dead nodes are probed,
+// sub-trees of alive nodes are inferred alive wholesale (rule R1).
+func (r *run) topDown(sd seed) error {
+	buckets := make([][]int, r.sub.maxLevel+1)
+	queued := newBitset(r.sub.len())
+	enqueue := func(x int) {
+		if !queued.has(x) {
+			queued.set(x)
+			buckets[r.sub.level[x]] = append(buckets[r.sub.level[x]], x)
+		}
+	}
+	r.init(sd)
+	r.active.forEach(func(mi int) { enqueue(r.sub.mtns[mi]) })
+	for level := r.sub.maxLevel; level >= 2; level-- {
+		sort.Ints(buckets[level])
+		for _, x := range buckets[level] {
+			if err := r.evaluate(x); err != nil {
+				return err
+			}
+			if r.status[x] == stDead {
+				for _, c := range r.sub.children[x] {
+					enqueue(int(c))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// returnEverything is the RE baseline of §3.8: probe every unique node in
+// the MTNs' descendant closure (level >= 2), with no lattice inference at
+// all — the aliveness of every node is established by its own SQL query.
+func (r *run) returnEverything(sd seed) error {
+	r.init(sd)
+	// Snapshot what the seed (pins + base rule) already settled: those nodes
+	// have no database truth to fetch. Everything else is probed even when
+	// rules R1/R2 could have inferred it — that is RE's defining waste.
+	seeded := make([]status, len(r.status))
+	copy(seeded, r.status)
+	for x := 0; x < r.sub.len(); x++ {
+		if r.sub.level[x] < 2 || seeded[x] != stUnknown {
+			continue
+		}
+		alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
+		if err != nil {
+			return err
+		}
+		r.classify(x, alive, false)
+	}
+	return nil
+}
+
+// result assembles the strategy-independent outcome for the active MTNs.
+func (r *run) result() (traverseResult, error) {
+	res := traverseResult{mpans: make(map[int][]int)}
+	var err error
+	r.active.forEach(func(mi int) {
+		m := r.sub.mtns[mi]
+		switch r.status[m] {
+		case stAlive:
+			res.aliveMTNs = append(res.aliveMTNs, m)
+		case stDead:
+			res.deadMTNs = append(res.deadMTNs, m)
+			var ps []int
+			r.mp[mi].forEach(func(p int) { ps = append(ps, p) })
+			res.mpans[m] = ps
+		default:
+			err = fmt.Errorf("core: MTN %s left unclassified", r.sub.node(m))
+		}
+	})
+	sort.Ints(res.aliveMTNs)
+	sort.Ints(res.deadMTNs)
+	return res, err
+}
+
+// merge folds a single-MTN result into an accumulated one (for the
+// strategies without reuse).
+func (res *traverseResult) merge(one traverseResult) {
+	res.aliveMTNs = append(res.aliveMTNs, one.aliveMTNs...)
+	res.deadMTNs = append(res.deadMTNs, one.deadMTNs...)
+	for m, ps := range one.mpans {
+		res.mpans[m] = ps
+	}
+}
+
+// traverse dispatches a Phase 3 strategy over the sub-lattice.
+func (sys *System) traverse(sub *sublattice, oracle Oracle, sd seed, opts Options) (traverseResult, int, error) {
+	inferred := 0
+
+	switch opts.Strategy {
+	case BU, TD:
+		// One traversal per MTN with private knowledge: shared descendants
+		// are re-probed for every MTN, which is exactly the redundancy the
+		// with-reuse variants eliminate.
+		acc := traverseResult{mpans: make(map[int][]int)}
+		for mi := range sub.mtns {
+			r := newRun(sub, oracle, []int{mi})
+			var err error
+			if opts.Strategy == BU {
+				err = r.bottomUp(sd)
+			} else {
+				err = r.topDown(sd)
+			}
+			if err != nil {
+				return traverseResult{}, 0, err
+			}
+			one, err := r.result()
+			if err != nil {
+				return traverseResult{}, 0, err
+			}
+			acc.merge(one)
+			inferred += r.inferred
+		}
+		sort.Ints(acc.aliveMTNs)
+		sort.Ints(acc.deadMTNs)
+		return acc, inferred, nil
+
+	case BUWR, TDWR, SBH, RE:
+		all := make([]int, len(sub.mtns))
+		for i := range all {
+			all[i] = i
+		}
+		r := newRun(sub, oracle, all)
+		var err error
+		switch opts.Strategy {
+		case BUWR:
+			err = r.bottomUp(sd)
+		case TDWR:
+			err = r.topDown(sd)
+		case RE:
+			err = r.returnEverything(sd)
+		default:
+			err = r.scoreBased(sd, opts.Pa)
+		}
+		if err != nil {
+			return traverseResult{}, 0, err
+		}
+		res, err := r.result()
+		return res, r.inferred, err
+
+	default:
+		return traverseResult{}, 0, fmt.Errorf("core: unknown strategy %v", opts.Strategy)
+	}
+}

@@ -1,0 +1,290 @@
+package dblife
+
+import (
+	"strings"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/storage"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if got := len(s.Relations()); got != 14 {
+		t.Fatalf("relations = %d, want 14", got)
+	}
+	if got := len(s.Edges()); got != 18 {
+		t.Fatalf("edges = %d, want 18", got)
+	}
+	// Exactly the five entity tables carry text.
+	textTables := 0
+	for _, r := range s.Relations() {
+		if len(r.TextColumns()) > 0 {
+			textTables++
+		}
+	}
+	if textTables != 5 {
+		t.Errorf("text-bearing tables = %d, want 5", textTables)
+	}
+	// Person is the star center: 8 incident edge endpoints.
+	if got := len(s.Incident(Person)); got != 8 {
+		t.Errorf("Person incident edges = %d, want 8", got)
+	}
+	for _, rel := range []string{Person, Publication, Conference, Organization, Topic} {
+		r, ok := s.Relation(rel)
+		if !ok || r.PrimaryKey() != "id" {
+			t.Errorf("entity %s malformed", rel)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Database().TotalRows() != b.Database().TotalRows() {
+		t.Fatalf("row totals differ: %d vs %d", a.Database().TotalRows(), b.Database().TotalRows())
+	}
+	ta, _ := a.Database().Table(Publication)
+	tb, _ := b.Database().Table(Publication)
+	for i := 0; i < ta.RowCount(); i += 97 {
+		if ta.Row(storage.RowID(i))[1].S != tb.Row(storage.RowID(i))[1].S {
+			t.Fatalf("row %d differs: %q vs %q", i, ta.Row(storage.RowID(i))[1].S, tb.Row(storage.RowID(i))[1].S)
+		}
+	}
+	c, err := Generate(Config{Seed: 2, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	tc, _ := c.Database().Table(Publication)
+	for i := len(plantedPubs); i < 50 && i < tc.RowCount(); i++ {
+		if ta.Row(storage.RowID(i))[1].S != tc.Row(storage.RowID(i))[1].S {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical publications")
+	}
+}
+
+func TestGenerateScale(t *testing.T) {
+	small, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(Config{Seed: 1, Scale: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Database().TotalRows() >= large.Database().TotalRows() {
+		t.Errorf("scale 0.01 rows %d >= scale 0.03 rows %d",
+			small.Database().TotalRows(), large.Database().TotalRows())
+	}
+	if _, err := Generate(Config{Scale: -1}); err == nil {
+		t.Error("negative scale accepted")
+	}
+	// Default scale kicks in at zero.
+	def, err := Generate(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Database().TotalRows() < 20_000 {
+		t.Errorf("default scale rows = %d, suspiciously small", def.Database().TotalRows())
+	}
+}
+
+func TestWorkloadKeywordsBind(t *testing.T) {
+	eng, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := eng.Index()
+	for _, q := range Workload() {
+		for _, kw := range q.Keywords {
+			if tables := ix.Tables(kw); len(tables) == 0 {
+				t.Errorf("%s: keyword %q occurs nowhere", q.ID, kw)
+			}
+		}
+	}
+	// Q8's "Washington" must have the paper's three interpretations.
+	tables := ix.Tables("Washington")
+	want := map[string]bool{Person: true, Publication: true, Organization: true}
+	for _, tb := range tables {
+		delete(want, tb)
+	}
+	if len(want) != 0 {
+		t.Errorf("Washington missing from %v (bound to %v)", want, tables)
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	ws := Workload()
+	if len(ws) != 10 {
+		t.Fatalf("workload has %d queries", len(ws))
+	}
+	threeKw := map[string]bool{"Q2": true, "Q3": true, "Q8": true, "Q10": true}
+	for _, q := range ws {
+		want := 2
+		if threeKw[q.ID] {
+			want = 3
+		}
+		if len(q.Keywords) != want {
+			t.Errorf("%s has %d keywords, want %d", q.ID, len(q.Keywords), want)
+		}
+	}
+}
+
+// TestWorkloadEndToEnd runs the full pipeline on the synthetic dataset at a
+// small lattice level and checks the qualitative properties the paper
+// reports, including strategy agreement on real workload queries.
+func TestWorkloadEndToEnd(t *testing.T) {
+	eng, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2, KeywordSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Workload() {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			ref, err := sys.Debug(q.Keywords, core.Options{Strategy: core.RE})
+			if err != nil {
+				t.Fatalf("RE: %v", err)
+			}
+			if len(ref.NonKeywords) > 0 {
+				t.Fatalf("missing keywords: %v", ref.NonKeywords)
+			}
+			for _, strat := range core.Strategies {
+				out, err := sys.Debug(q.Keywords, core.Options{Strategy: strat})
+				if err != nil {
+					t.Fatalf("%v: %v", strat, err)
+				}
+				if got, want := outputKey(out), outputKey(ref); got != want {
+					t.Errorf("%v diverges from RE:\n%s\nvs\n%s", strat, got, want)
+				}
+			}
+		})
+	}
+}
+
+func outputKey(out *core.Output) string {
+	var sb strings.Builder
+	for _, a := range out.Answers {
+		sb.WriteString("A " + a.Tree + "\n")
+	}
+	for _, na := range out.NonAnswers {
+		sb.WriteString("N " + na.Query.Tree + " [")
+		for _, p := range na.MPANs {
+			sb.WriteString(p.Tree + ";")
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// TestQ4MultiHop checks the paper's observation about Q4/Q6: dead at the
+// two-table level, alive via relationships with more hops.
+func TestQ4MultiHop(t *testing.T) {
+	eng, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := core.Build(eng, lattice.Options{MaxJoins: 2, KeywordSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := low.Debug([]string{"DeRose", "VLDB"}, core.Options{Strategy: core.SBH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowAnswers := len(out.Answers)
+
+	high, err := core.Build(eng, lattice.Options{MaxJoins: 4, KeywordSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = high.Debug([]string{"DeRose", "VLDB"}, core.Options{Strategy: core.SBH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) <= lowAnswers {
+		t.Errorf("Q4 answers: level3=%d level5=%d; expected more at higher levels",
+			lowAnswers, len(out.Answers))
+	}
+}
+
+func TestSchemaIsCatalogValid(t *testing.T) {
+	// Rebuilding must not panic and must produce a fresh value each time.
+	a, b := Schema(), Schema()
+	if a == b {
+		t.Error("Schema() returned a shared instance")
+	}
+	var _ *catalog.Schema = a
+}
+
+func TestGenerateSkew(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, Scale: 0.01, Skew: 0.5}); err == nil {
+		t.Error("skew 0.5 accepted")
+	}
+	uniform, err := Generate(Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Generate(Config{Seed: 1, Scale: 0.01, Skew: 1.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under Zipf, the most prolific author holds far more writes rows.
+	maxAuthor := func(eng interface {
+		Database() *storage.Database
+	}) int {
+		tbl, _ := eng.Database().Table(Writes)
+		counts := map[int64]int{}
+		best := 0
+		tbl.Scan(func(_ storage.RowID, row storage.Row) bool {
+			counts[row[0].I]++
+			if counts[row[0].I] > best {
+				best = counts[row[0].I]
+			}
+			return true
+		})
+		return best
+	}
+	if mu, ms := maxAuthor(uniform), maxAuthor(skewed); ms <= 2*mu {
+		t.Errorf("skewed max author %d not >> uniform %d", ms, mu)
+	}
+	// The workload still binds and the strategies still agree.
+	ix := skewed.Index()
+	for _, q := range Workload() {
+		for _, kw := range q.Keywords {
+			if len(ix.Tables(kw)) == 0 {
+				t.Errorf("%s: %q unbound on skewed data", q.ID, kw)
+			}
+		}
+	}
+	sys, err := core.Build(skewed, lattice.Options{MaxJoins: 2, KeywordSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sys.Debug([]string{"Probabilistic", "Data"}, core.Options{Strategy: core.RE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Debug([]string{"Probabilistic", "Data"}, core.Options{Strategy: core.SBH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputKey(out) != outputKey(ref) {
+		t.Error("SBH diverges from RE on skewed data")
+	}
+}

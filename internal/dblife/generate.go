@@ -1,0 +1,355 @@
+package dblife
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kwsdbg/internal/engine"
+	"kwsdbg/internal/storage"
+)
+
+// Config controls the synthetic DBLife generator.
+type Config struct {
+	// Seed drives the deterministic PRNG; the same seed always produces the
+	// same database.
+	Seed int64
+	// Scale multiplies the full-size tuple counts. Scale 1.0 produces about
+	// 801,000 tuples, the size of the snapshot the paper used; the default
+	// (zero) is 0.05, which keeps experiment turnaround at laptop scale
+	// while preserving every distributional property the experiments need.
+	Scale float64
+	// Skew, when greater than 1, draws relationship endpoints from a Zipf
+	// distribution with that exponent instead of uniformly: a few prolific
+	// authors accumulate most publications, the way a real bibliography
+	// crawl behaves. The default (0) keeps endpoints uniform, which is what
+	// EXPERIMENTS.md reports; the ablation-skew experiment contrasts the
+	// two.
+	Skew float64
+}
+
+// full-size table cardinalities, chosen to sum to ~801k tuples with
+// DBLife-like proportions (publications and authorship dominate).
+var fullCounts = map[string]int{
+	Person:       45_000,
+	Publication:  130_000,
+	Conference:   1_200,
+	Organization: 4_000,
+	Topic:        800,
+	Writes:       260_000,
+	Coauthor:     130_000,
+	Affiliated:   45_000,
+	WorksOn:      40_000,
+	Serves:       18_000,
+	GaveTalk:     9_000,
+	GaveTutorial: 3_000,
+	PublishedIn:  75_000,
+	AboutTopic:   40_000,
+}
+
+// Name pools. The workload's terms (Table 2) are planted explicitly below;
+// the pools provide the bulk mass around them.
+var (
+	firstNames = []string{
+		"Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Henry",
+		"Irene", "Jack", "Karen", "Leo", "Mona", "Nina", "Oscar", "Paul",
+		"Quinn", "Rita", "Sam", "Tina", "Uma", "Victor", "Wendy", "Xavier",
+		"Yolanda", "Zach", "Ivan", "Judy", "Kyle", "Laura",
+	}
+	lastNames = []string{
+		"Smith", "Johnson", "Lee", "Brown", "Garcia", "Miller", "Davis",
+		"Wilson", "Moore", "Taylor", "Anderson", "Thomas", "Jackson",
+		"White", "Harris", "Martin", "Thompson", "Young", "Walker", "Hall",
+		"Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill",
+		"Flores", "Green", "Adams", "Nelson", "Baker", "Rivera", "Campbell",
+		"Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+	}
+	titleWords = []string{
+		"query", "optimization", "index", "join", "mining", "graph",
+		"ranking", "web", "schema", "integration", "transaction", "storage",
+		"parallel", "distributed", "adaptive", "learning", "entity",
+		"extraction", "cleaning", "provenance", "uncertain", "sampling",
+		"approximate", "aggregation", "view", "materialized", "cache",
+		"partitioning", "skyline", "spatial", "temporal", "sensor",
+		"workflow", "crawl", "clustering", "classification", "privacy",
+		"security", "benchmark", "engine", "data", "stream", "probabilistic",
+	}
+	confNames = []string{
+		"SIGMOD", "VLDB", "ICDE", "EDBT", "KDD", "WWW", "CIKM", "ICDT",
+		"SIGIR", "PODS", "WSDM", "SoCC",
+	}
+	orgNames = []string{
+		"University of Wisconsin-Madison", "University of Washington",
+		"Stanford University", "Microsoft Research", "IBM Almaden",
+		"Google Research", "Yahoo Labs", "AT&T Labs", "Bell Labs",
+		"Cornell University", "MIT", "Berkeley", "CMU", "ETH Zurich",
+		"University of Michigan", "Duke University",
+	}
+	topicNames = []string{
+		"probabilistic data", "keyword search", "data streams", "histograms",
+		"XML processing", "query optimization", "data integration",
+		"information extraction", "web data", "graph mining",
+		"uncertain data", "tutorials and surveys", "crowdsourcing",
+		"column stores", "provenance",
+	}
+)
+
+// Planted entities: the rows the Table 2 workload depends on. IDs are
+// assigned first, before the random bulk, so they are stable across scales.
+var plantedPeople = []string{
+	"Jennifer Widom", "Vagelis Hristidis", "Rakesh Agrawal",
+	"Surajit Chaudhuri", "Gautam Das", "Pedro DeRose", "Jim Gray",
+	"David DeWitt", "George Washington", "Luis Gravano",
+	"Yannis Papakonstantinou", "AnHai Doan", "Jeffrey Naughton",
+}
+
+var plantedPubs = []string{
+	"Trio a system for data uncertainty and lineage",
+	"efficient keyword search over relational databases",
+	"DBXplorer enabling keyword search over structured data",
+	"probabilistic data management a survey",
+	"querying probabilistic data with confidence",
+	"histograms for selectivity estimation over data streams",
+	"XML query processing at scale",
+	"a tutorial on parallel database systems",
+	"stream processing with sliding windows and histograms",
+	"mining the web at the University of Washington",
+}
+
+// Generate builds the synthetic DBLife database. It returns a loaded engine
+// whose schema graph is Schema().
+func Generate(cfg Config) (*engine.Engine, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 0.05
+	}
+	if cfg.Scale < 0 {
+		return nil, fmt.Errorf("dblife: negative scale %v", cfg.Scale)
+	}
+	if cfg.Skew != 0 && cfg.Skew <= 1 {
+		return nil, fmt.Errorf("dblife: skew must be > 1 (or 0 for uniform), got %v", cfg.Skew)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	schema := Schema()
+	db := storage.NewDatabase(schema)
+
+	count := func(table string, minimum int) int {
+		n := int(float64(fullCounts[table]) * cfg.Scale)
+		if n < minimum {
+			n = minimum
+		}
+		return n
+	}
+	tbl := func(name string) *storage.Table {
+		t, ok := db.Table(name)
+		if !ok {
+			panic("dblife: missing table " + name)
+		}
+		return t
+	}
+
+	// --- Entities ---------------------------------------------------------
+	people := tbl(Person)
+	nPerson := count(Person, len(plantedPeople)+50)
+	for i, name := range plantedPeople {
+		people.MustInsert(storage.Row{storage.IntV(int64(i + 1)), storage.TextV(name)})
+	}
+	for i := len(plantedPeople); i < nPerson; i++ {
+		name := firstNames[r.Intn(len(firstNames))] + " " + lastNames[r.Intn(len(lastNames))]
+		people.MustInsert(storage.Row{storage.IntV(int64(i + 1)), storage.TextV(name)})
+	}
+
+	pubs := tbl(Publication)
+	nPub := count(Publication, len(plantedPubs)+100)
+	for i, title := range plantedPubs {
+		pubs.MustInsert(storage.Row{
+			storage.IntV(int64(i + 1)), storage.TextV(title),
+			storage.IntV(int64(1995 + i%20)),
+		})
+	}
+	for i := len(plantedPubs); i < nPub; i++ {
+		nw := 3 + r.Intn(4)
+		title := ""
+		for w := 0; w < nw; w++ {
+			if w > 0 {
+				title += " "
+			}
+			title += titleWords[r.Intn(len(titleWords))]
+		}
+		// A slice of the corpus mentions the workload's content terms, so
+		// multi-hop relationships exist beyond the planted rows.
+		switch r.Intn(40) {
+		case 0:
+			title += " probabilistic data"
+		case 1:
+			title += " data streams"
+		case 2:
+			title += " keyword search"
+		case 3:
+			title += " XML"
+		case 4:
+			title += " histograms"
+		case 5:
+			title += " tutorial"
+		}
+		pubs.MustInsert(storage.Row{
+			storage.IntV(int64(i + 1)), storage.TextV(title),
+			storage.IntV(int64(1990 + r.Intn(25))),
+		})
+	}
+
+	confs := tbl(Conference)
+	nConf := count(Conference, len(confNames)+5)
+	for i := 0; i < nConf; i++ {
+		var name string
+		if i < len(confNames) {
+			name = confNames[i]
+		} else {
+			name = fmt.Sprintf("Workshop on %s %s",
+				titleWords[r.Intn(len(titleWords))], titleWords[r.Intn(len(titleWords))])
+		}
+		confs.MustInsert(storage.Row{storage.IntV(int64(i + 1)), storage.TextV(name)})
+	}
+
+	orgs := tbl(Organization)
+	nOrg := count(Organization, len(orgNames)+5)
+	for i := 0; i < nOrg; i++ {
+		var name string
+		if i < len(orgNames) {
+			name = orgNames[i]
+		} else {
+			name = fmt.Sprintf("Institute of %s %s",
+				titleWords[r.Intn(len(titleWords))], titleWords[r.Intn(len(titleWords))])
+		}
+		orgs.MustInsert(storage.Row{storage.IntV(int64(i + 1)), storage.TextV(name)})
+	}
+
+	topics := tbl(Topic)
+	nTopic := count(Topic, len(topicNames)+5)
+	for i := 0; i < nTopic; i++ {
+		var name string
+		if i < len(topicNames) {
+			name = topicNames[i]
+		} else {
+			name = titleWords[r.Intn(len(titleWords))] + " " + titleWords[r.Intn(len(titleWords))]
+		}
+		topics.MustInsert(storage.Row{storage.IntV(int64(i + 1)), storage.TextV(name)})
+	}
+
+	// --- Relationships ----------------------------------------------------
+	draw := func(n int) func() int64 {
+		if cfg.Skew > 1 {
+			z := rand.NewZipf(r, cfg.Skew, 1, uint64(n-1))
+			return func() int64 { return int64(1 + z.Uint64()) }
+		}
+		return func() int64 { return int64(1 + r.Intn(n)) }
+	}
+	pid := draw(nPerson)
+	pubid := draw(nPub)
+	confid := draw(nConf)
+	orgid := draw(nOrg)
+	topicid := draw(nTopic)
+	pair := func(table string, n int, a, b func() int64) {
+		t := tbl(table)
+		for i := 0; i < n; i++ {
+			t.MustInsert(storage.Row{storage.IntV(a()), storage.IntV(b())})
+		}
+	}
+
+	// Planted relationships that pin the workload's qualitative behaviour.
+	// Person IDs follow plantedPeople order; publication IDs plantedPubs.
+	const (
+		widom, hristidis, agrawal, chaudhuri, das, derose, gray, dewitt,
+		washington, gravano, papak, doan, naughton = 1, 2, 3, 4, 5, 6, 7, 8,
+			9, 10, 11, 12, 13
+	)
+	writes := tbl(Writes)
+	plantWrites := [][2]int64{
+		{widom, 1},      // Widom wrote the Trio paper
+		{hristidis, 2},  // Hristidis wrote the keyword search paper
+		{gravano, 2},    // ... with Gravano
+		{papak, 3},      // Papakonstantinou wrote DBXplorer-ish paper
+		{agrawal, 3},    // Agrawal too
+		{chaudhuri, 4},  // Chaudhuri on probabilistic data
+		{das, 5},        // Das on probabilistic data
+		{dewitt, 8},     // DeWitt wrote the parallel DB tutorial... no:
+		{gray, 8},       // Gray wrote the tutorial with DeWitt's coauthor
+		{naughton, 9},   // streams + histograms
+		{doan, 10},      // Washington-mentioning web mining paper
+		{washington, 7}, // the person Washington wrote the XML paper
+	}
+	for _, w := range plantWrites {
+		writes.MustInsert(storage.Row{storage.IntV(w[0]), storage.IntV(w[1])})
+	}
+	pair(Writes, count(Writes, 300), pid, pubid)
+
+	coauthor := tbl(Coauthor)
+	plantCoauthor := [][2]int64{
+		{widom, hristidis}, {agrawal, chaudhuri}, {chaudhuri, das},
+		{agrawal, das}, {derose, doan}, {doan, naughton}, {gray, dewitt},
+		{derose, naughton},
+	}
+	for _, c := range plantCoauthor {
+		coauthor.MustInsert(storage.Row{storage.IntV(c[0]), storage.IntV(c[1])})
+	}
+	pair(Coauthor, count(Coauthor, 200), pid, pid)
+
+	affiliated := tbl(Affiliated)
+	// Orgs follow orgNames order: 1 = Wisconsin, 2 = Washington, ...
+	plantAffiliated := [][2]int64{
+		{doan, 1}, {naughton, 1}, {derose, 1}, {dewitt, 1},
+		{washington, 2}, {gray, 4}, {chaudhuri, 4}, {agrawal, 5},
+	}
+	for _, a := range plantAffiliated {
+		affiliated.MustInsert(storage.Row{storage.IntV(a[0]), storage.IntV(a[1])})
+	}
+	pair(Affiliated, count(Affiliated, 100), pid, orgid)
+
+	worksOn := tbl(WorksOn)
+	// Topics follow topicNames order: 1 = probabilistic data, 2 = keyword
+	// search, 3 = data streams, 4 = histograms, 5 = XML processing, ...
+	plantWorksOn := [][2]int64{
+		{widom, 1}, {hristidis, 2}, {das, 1}, {chaudhuri, 6},
+		{naughton, 3}, {gravano, 2}, {washington, 5},
+	}
+	for _, w := range plantWorksOn {
+		worksOn.MustInsert(storage.Row{storage.IntV(w[0]), storage.IntV(w[1])})
+	}
+	pair(WorksOn, count(WorksOn, 100), pid, topicid)
+
+	serves := tbl(Serves)
+	// Conferences follow confNames order: 1 = SIGMOD, 2 = VLDB, ...
+	plantServes := [][2]int64{
+		{gray, 1}, {widom, 2}, {dewitt, 1}, {naughton, 2}, {chaudhuri, 1},
+	}
+	for _, s := range plantServes {
+		serves.MustInsert(storage.Row{storage.IntV(s[0]), storage.IntV(s[1])})
+	}
+	pair(Serves, count(Serves, 50), pid, confid)
+
+	pair(GaveTalk, count(GaveTalk, 30), pid, orgid)
+
+	gaveTutorial := tbl(GaveTutorial)
+	// DeWitt gave a tutorial at SIGMOD; the tutorial *paper* (pub 8) is by
+	// Gray, so "DeWitt tutorial" is dead at two tables but alive via joins —
+	// the paper's observation about Q6.
+	gaveTutorial.MustInsert(storage.Row{storage.IntV(dewitt), storage.IntV(1)})
+	pair(GaveTutorial, count(GaveTutorial, 20), pid, confid)
+
+	publishedIn := tbl(PublishedIn)
+	// The keyword search paper is in VLDB; the Trio paper in SIGMOD. DeRose
+	// has no publication at all planted — "DeRose VLDB" (Q4) finds nothing
+	// at low levels but connects via coauthors at higher ones.
+	plantPublished := [][2]int64{{1, 1}, {2, 2}, {3, 1}, {4, 2}, {7, 1}, {8, 1}, {9, 2}}
+	for _, p := range plantPublished {
+		publishedIn.MustInsert(storage.Row{storage.IntV(p[0]), storage.IntV(p[1])})
+	}
+	pair(PublishedIn, count(PublishedIn, 150), pubid, confid)
+
+	aboutTopic := tbl(AboutTopic)
+	plantAbout := [][2]int64{{1, 1}, {2, 2}, {4, 1}, {5, 1}, {6, 4}, {7, 5}, {9, 3}}
+	for _, a := range plantAbout {
+		aboutTopic.MustInsert(storage.Row{storage.IntV(a[0]), storage.IntV(a[1])})
+	}
+	pair(AboutTopic, count(AboutTopic, 100), pubid, topicid)
+
+	return engine.New(db), nil
+}

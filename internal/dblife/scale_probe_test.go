@@ -1,0 +1,35 @@
+package dblife
+
+import (
+	"testing"
+	"time"
+
+	"kwsdbg/internal/lattice"
+)
+
+// TestLatticeScale documents the lattice sizes the DBLife schema produces;
+// run with -v to see the per-level breakdown. It also guards against
+// regressions that would blow generation up beyond experiment scale.
+func TestLatticeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale probe is slow")
+	}
+	for _, opts := range []lattice.Options{
+		{MaxJoins: 4, KeywordSlots: 3},
+		{MaxJoins: 6, KeywordSlots: 3},
+	} {
+		start := time.Now()
+		l, err := lattice.GenerateOpts(Schema(), opts)
+		if err != nil {
+			t.Fatalf("GenerateOpts(%+v): %v", opts, err)
+		}
+		t.Logf("maxJoins=%d slots=%d total=%d elapsed=%v",
+			opts.MaxJoins, opts.KeywordSlots, l.Len(), time.Since(start))
+		for _, st := range l.Stats() {
+			t.Logf("  L%d kept=%d gen=%d dup=%d t=%v", st.Level, st.Kept, st.Generated, st.Duplicates, st.Elapsed)
+		}
+		if l.Len() > 3_000_000 {
+			t.Errorf("lattice for %+v has %d nodes; experiment scale exceeded", opts, l.Len())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchEngine loads a product database with n items for the micro-benchmarks.
+func benchEngine(b *testing.B, n int) *Engine {
+	b.Helper()
+	e, err := Load(productScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, _ := e.Database().Table("Item")
+	words := []string{"scented", "plain", "striped", "marbled", "rustic"}
+	for i := 5; i < n; i++ {
+		name := fmt.Sprintf("%s item %d", words[i%len(words)], i)
+		row := fmt.Sprintf("INSERT INTO Item VALUES (%d, '%s', %d, %d, %d, %f, 'bulk row')",
+			i, name, 1+i%3, 1+i%4, 1+i%4, float64(i%50))
+		if _, err := e.Exec(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = tbl
+	e.Index() // build outside the timed region
+	return e
+}
+
+// BenchmarkExistenceProbe is the debugger's hot path: a three-way join with
+// keyword predicates, early-exited by LIMIT 1.
+func BenchmarkExistenceProbe(b *testing.B) {
+	e := benchEngine(b, 5000)
+	const q = `SELECT 1 FROM PType AS t0, Item AS t1, Color AS t2
+		WHERE t1.ptype = t0.id AND t1.color = t2.id
+		AND t0.ptype CONTAINS 'candle' AND t1.name CONTAINS 'scented'
+		AND (t2.color CONTAINS 'red' OR t2.synonyms CONTAINS 'red') LIMIT 1`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeadProbe measures the worst case for existence checks: a probe
+// that must exhaust its candidates to conclude emptiness.
+func BenchmarkDeadProbe(b *testing.B) {
+	e := benchEngine(b, 5000)
+	const q = `SELECT 1 FROM PType AS t0, Item AS t1
+		WHERE t1.ptype = t0.id AND t0.ptype CONTAINS 'incense'
+		AND t1.name CONTAINS 'scented' LIMIT 1`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCountStarJoin measures full enumeration through a join.
+func BenchmarkCountStarJoin(b *testing.B) {
+	e := benchEngine(b, 2000)
+	const q = `SELECT COUNT(*) FROM Item i, PType p WHERE i.ptype = p.id`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContainsIndexed measures an index-accelerated text predicate.
+func BenchmarkContainsIndexed(b *testing.B) {
+	e := benchEngine(b, 5000)
+	const q = `SELECT COUNT(*) FROM Item WHERE name CONTAINS 'striped'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLikeScan measures the scan-based LIKE fallback over the same data.
+func BenchmarkLikeScan(b *testing.B) {
+	e := benchEngine(b, 5000)
+	const q = `SELECT COUNT(*) FROM Item WHERE name LIKE '%striped%'`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParse isolates SQL text parsing from execution.
+func BenchmarkParse(b *testing.B) {
+	e := benchEngine(b, 100)
+	_ = e
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query("SELECT 1 FROM Item WHERE name CONTAINS 'no such token here' LIMIT 1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

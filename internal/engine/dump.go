@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/storage"
+)
+
+// Dump writes the database as a SQL script that Load accepts: CREATE TABLE
+// statements in schema order (with their key-foreign-key clauses) followed
+// by batched INSERTs. Dump(Load(Dump(db))) is the identity on data, which
+// the tests pin; the synthetic datasets become portable artifacts this way.
+func (e *Engine) Dump(w io.Writer) error {
+	schema := e.db.Schema()
+	for _, rel := range schema.Relations() {
+		if err := dumpCreate(w, schema, rel); err != nil {
+			return err
+		}
+	}
+	for _, rel := range schema.Relations() {
+		tbl, ok := e.db.Table(rel.Name)
+		if !ok || tbl.RowCount() == 0 {
+			continue
+		}
+		if err := dumpRows(w, rel, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func dumpCreate(w io.Writer, schema *catalog.Schema, rel *catalog.Relation) error {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(rel.Name)
+	sb.WriteString(" (")
+	for i, c := range rel.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	for _, e := range schema.Edges() {
+		if e.From == rel.Name {
+			fmt.Fprintf(&sb, ", FOREIGN KEY (%s) REFERENCES %s(%s)", e.FromCol, e.To, e.ToCol)
+		}
+	}
+	sb.WriteString(");\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// dumpRows batches inserts to keep statements parseable without slurping the
+// whole table into one line.
+func dumpRows(w io.Writer, rel *catalog.Relation, tbl *storage.Table) error {
+	const batch = 200
+	var sb strings.Builder
+	count := 0
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		sb.WriteString(";\n")
+		if _, err := io.WriteString(w, sb.String()); err != nil {
+			return err
+		}
+		sb.Reset()
+		count = 0
+		return nil
+	}
+	var outerErr error
+	tbl.Scan(func(_ storage.RowID, row storage.Row) bool {
+		if count == 0 {
+			sb.WriteString("INSERT INTO ")
+			sb.WriteString(rel.Name)
+			sb.WriteString(" VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			switch v.Kind {
+			case catalog.Int:
+				sb.WriteString(strconv.FormatInt(v.I, 10))
+			case catalog.Float:
+				sb.WriteString(strconv.FormatFloat(v.F, 'g', -1, 64))
+			default:
+				sb.WriteByte('\'')
+				sb.WriteString(strings.ReplaceAll(v.S, "'", "''"))
+				sb.WriteByte('\'')
+			}
+		}
+		sb.WriteByte(')')
+		count++
+		if count == batch {
+			if err := flush(); err != nil {
+				outerErr = err
+				return false
+			}
+		}
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	return flush()
+}

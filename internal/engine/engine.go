@@ -1,0 +1,204 @@
+// Package engine executes the SQL dialect of package sqltext against the
+// in-memory store of package storage. It is the stdlib stand-in for the
+// PostgreSQL instance of the paper's evaluation: the KWS-S layers above it
+// only ever ask "run this select-project-join query, possibly with LIMIT 1,
+// and tell me what comes back".
+//
+// The planner is deliberately query-shape-aware rather than general: it
+// computes per-alias candidate row sets from indexable local predicates
+// (CONTAINS via the inverted index, integer equality via hash indexes), picks
+// a greedy join order starting from the most selective alias, and enumerates
+// bindings by index-nested-loop backtracking with early exit on LIMIT — the
+// access pattern that dominates a lattice traversal's existence probes.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/invidx"
+	"kwsdbg/internal/sqltext"
+	"kwsdbg/internal/storage"
+)
+
+// Engine executes SQL against one database. It is safe for concurrent
+// queries; data definition happens only at load time.
+type Engine struct {
+	db *storage.Database
+
+	mu      sync.Mutex
+	ix      *invidx.Index
+	ixSizes map[string]int // per-table row counts when ix was built
+}
+
+// New wraps an already-populated database.
+func New(db *storage.Database) *Engine {
+	return &Engine{db: db}
+}
+
+// Load builds an engine from a SQL script of CREATE TABLE and INSERT
+// statements. This is how the examples bootstrap their datasets, and it is
+// the only path that performs DDL: the schema graph is immutable afterwards,
+// because the lattice of package lattice is derived from it.
+func Load(script string) (*Engine, error) {
+	stmts, err := sqltext.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	b := catalog.NewSchemaBuilder()
+	var inserts []*sqltext.Insert
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *sqltext.CreateTable:
+			rel, err := catalog.NewRelation(st.Name, st.Columns...)
+			if err != nil {
+				return nil, err
+			}
+			b.AddRelation(rel)
+			for _, fk := range st.ForeignKeys {
+				b.AddEdge(st.Name, fk.Column, fk.RefTable, fk.RefCol)
+			}
+		case *sqltext.Insert:
+			inserts = append(inserts, st)
+		default:
+			return nil, fmt.Errorf("engine: load script may contain only CREATE TABLE and INSERT, got %T", s)
+		}
+	}
+	schema, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	e := New(storage.NewDatabase(schema))
+	for _, ins := range inserts {
+		if err := e.execInsert(ins); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Database returns the underlying store.
+func (e *Engine) Database() *storage.Database { return e.db }
+
+// Index returns the inverted index over the current data, rebuilding it if
+// any indexed table changed size since the last build. The paper's workflow
+// mutates data between debugging sessions (adding synonyms), so staleness is
+// detected rather than assumed away.
+func (e *Engine) Index() *invidx.Index {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ix != nil && !e.indexStaleLocked() {
+		return e.ix
+	}
+	e.ix = invidx.Build(e.db)
+	e.ixSizes = make(map[string]int)
+	for _, rel := range e.db.Schema().Relations() {
+		if t, ok := e.db.Table(rel.Name); ok {
+			e.ixSizes[rel.Name] = t.RowCount()
+		}
+	}
+	return e.ix
+}
+
+func (e *Engine) indexStaleLocked() bool {
+	for _, rel := range e.db.Schema().Relations() {
+		t, ok := e.db.Table(rel.Name)
+		if ok && e.ixSizes[rel.Name] != t.RowCount() {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateIndex forces the next Index call to rebuild. Needed after
+// in-place row updates, which do not change table sizes.
+func (e *Engine) InvalidateIndex() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ix = nil
+}
+
+// Result is the outcome of a SELECT.
+type Result struct {
+	Columns []string
+	Rows    [][]storage.Value
+}
+
+// Query parses and executes a SELECT statement.
+func (e *Engine) Query(sql string) (*Result, error) {
+	stmt, err := sqltext.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqltext.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
+	}
+	return e.Select(sel)
+}
+
+// Exec parses and executes an INSERT statement, returning the number of rows
+// inserted. DDL is rejected at runtime; see Load.
+func (e *Engine) Exec(sql string) (int64, error) {
+	stmt, err := sqltext.Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	ins, ok := stmt.(*sqltext.Insert)
+	if !ok {
+		return 0, fmt.Errorf("engine: Exec supports only INSERT at runtime (DDL is load-time only), got %T", stmt)
+	}
+	if err := e.execInsert(ins); err != nil {
+		return 0, err
+	}
+	return int64(len(ins.Rows)), nil
+}
+
+func (e *Engine) execInsert(ins *sqltext.Insert) error {
+	tbl, ok := e.db.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", ins.Table)
+	}
+	rel := tbl.Relation()
+	for _, litRow := range ins.Rows {
+		if len(litRow) != len(rel.Columns) {
+			return fmt.Errorf("engine: INSERT INTO %s: %d values, want %d", ins.Table, len(litRow), len(rel.Columns))
+		}
+		row := make(storage.Row, len(litRow))
+		for i, lit := range litRow {
+			v, err := literalValue(lit, rel.Columns[i].Type)
+			if err != nil {
+				return fmt.Errorf("engine: INSERT INTO %s.%s: %v", ins.Table, rel.Columns[i].Name, err)
+			}
+			row[i] = v
+		}
+		if _, err := tbl.Insert(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// literalValue coerces a parsed literal to a column type. Integers widen to
+// floats; everything else must match exactly.
+func literalValue(lit sqltext.Literal, want catalog.ColType) (storage.Value, error) {
+	switch want {
+	case catalog.Int:
+		if lit.Kind == sqltext.LitInt {
+			return storage.IntV(lit.I), nil
+		}
+	case catalog.Float:
+		switch lit.Kind {
+		case sqltext.LitFloat:
+			return storage.FloatV(lit.F), nil
+		case sqltext.LitInt:
+			return storage.FloatV(float64(lit.I)), nil
+		}
+	case catalog.Text:
+		if lit.Kind == sqltext.LitString {
+			return storage.TextV(lit.S), nil
+		}
+	}
+	return storage.Value{}, fmt.Errorf("literal %v does not fit column type %v", lit, want)
+}

@@ -1,0 +1,39 @@
+package engine
+
+// likeMatch implements SQL LIKE: '%' matches any run of characters (including
+// the empty run) and '_' matches exactly one character. Matching is
+// case-sensitive, as in PostgreSQL, the system the paper evaluated against,
+// and character-based: '_' consumes one rune, not one byte.
+//
+// The implementation is the classic two-pointer wildcard matcher: linear in
+// the input with backtracking only to the most recent '%'.
+func likeMatch(pattern, s string) bool {
+	pr := []rune(pattern)
+	sr := []rune(s)
+	p, i := 0, 0
+	star, mark := -1, 0
+	for i < len(sr) {
+		switch {
+		// The wildcard case must precede the literal case: a '%' in the
+		// *input* would otherwise satisfy pr[p] == sr[i] and consume the
+		// pattern's '%' as a literal (caught by FuzzLikeMatch).
+		case p < len(pr) && pr[p] == '%':
+			star = p
+			mark = i
+			p++
+		case p < len(pr) && (pr[p] == '_' || pr[p] == sr[i]):
+			p++
+			i++
+		case star >= 0:
+			p = star + 1
+			mark++
+			i = mark
+		default:
+			return false
+		}
+	}
+	for p < len(pr) && pr[p] == '%' {
+		p++
+	}
+	return p == len(pr)
+}

@@ -1,0 +1,45 @@
+// Package figure2 builds the toy product database of the paper's Figure 2:
+// an Items table joined to Product Type, Color, and Attribute tables. It is
+// the running example of the paper (Example 1: the keyword query
+// "saffron scented candle" maps to two structured queries that both return
+// nothing) and doubles as a deterministic fixture for tests and examples.
+package figure2
+
+import (
+	"kwsdbg/internal/engine"
+)
+
+// Script is the SQL that creates and populates the Figure 2 database.
+const Script = `
+CREATE TABLE PType (id INT PRIMARY KEY, ptype TEXT);
+CREATE TABLE Color (id INT PRIMARY KEY, color TEXT, synonyms TEXT);
+CREATE TABLE Attr (id INT PRIMARY KEY, property TEXT, value TEXT);
+CREATE TABLE Item (
+	id INT PRIMARY KEY, name TEXT, ptype INT, color INT, attr INT,
+	cost FLOAT, description TEXT,
+	FOREIGN KEY (ptype) REFERENCES PType(id),
+	FOREIGN KEY (color) REFERENCES Color(id),
+	FOREIGN KEY (attr) REFERENCES Attr(id));
+
+INSERT INTO PType VALUES (1, 'oil'), (2, 'candle'), (3, 'incense');
+INSERT INTO Color VALUES
+	(1, 'red', 'crimson, orange'),
+	(2, 'yellow', 'golden, lemon'),
+	(3, 'pink', 'peach, salmon'),
+	(4, 'saffron', 'yellow, orange');
+INSERT INTO Attr VALUES
+	(1, 'scent', 'saffron'),
+	(2, 'scent', 'vanilla'),
+	(3, 'pattern', 'floral'),
+	(4, 'pattern', 'checkered');
+INSERT INTO Item VALUES
+	(1, 'saffron scented oil', 1, 0, 1, 4.99, '3.4 oz. burns without fumes.'),
+	(2, 'vanilla scented candle', 2, 2, 2, 5.99, 'burn time 50 hrs. 6.4 oz. 2pck.'),
+	(3, 'crimson scented candle', 2, 1, 3, 3.99, 'hand-made. saffron scented. 2pck.'),
+	(4, 'red checkered candle', 2, 1, 4, 3.99, 'rose scented. made from essential oils.');
+`
+
+// Engine loads the Figure 2 database into a fresh engine.
+func Engine() (*engine.Engine, error) {
+	return engine.Load(Script)
+}

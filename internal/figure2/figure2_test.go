@@ -1,0 +1,34 @@
+package figure2
+
+import "testing"
+
+func TestEngineLoads(t *testing.T) {
+	e, err := Engine()
+	if err != nil {
+		t.Fatalf("Engine: %v", err)
+	}
+	// Figure 2 holds 15 tuples: 3 product types, 4 colors, 4 attributes,
+	// 4 items.
+	if got := e.Database().TotalRows(); got != 15 {
+		t.Errorf("TotalRows = %d, want 15", got)
+	}
+	for _, tbl := range []string{"PType", "Color", "Attr", "Item"} {
+		if _, ok := e.Database().Table(tbl); !ok {
+			t.Errorf("table %s missing", tbl)
+		}
+	}
+	if got := len(e.Database().Schema().Edges()); got != 3 {
+		t.Errorf("edges = %d, want 3", got)
+	}
+	// The paper's headline fact: no saffron scented candles.
+	res, err := e.Query(`SELECT 1 FROM PType AS t0, Item AS t1, Attr AS t2
+		WHERE t1.ptype = t0.id AND t1.attr = t2.id
+		AND t0.ptype CONTAINS 'candle' AND t1.name CONTAINS 'scented'
+		AND (t2.property CONTAINS 'saffron' OR t2.value CONTAINS 'saffron') LIMIT 1`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Error("q2 returned rows; Figure 2 data corrupted")
+	}
+}

@@ -1,0 +1,50 @@
+package invidx
+
+import (
+	"testing"
+	"unicode"
+)
+
+// FuzzTokenize asserts tokenizer invariants on arbitrary input: no panics,
+// and every token is a nonempty lowercase alphanumeric run that occurs in
+// the (lowercased) input.
+func FuzzTokenize(f *testing.F) {
+	f.Add("Saffron Scented Candle")
+	f.Add("hand-made. 2pck!")
+	f.Add("ÜBER    graph\t\n")
+	f.Add("")
+	f.Add("....")
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					t.Fatalf("token %q has separator rune %q", tok, r)
+				}
+				if r != unicode.ToLower(r) {
+					t.Fatalf("token %q not ToLower-normalized", tok)
+				}
+			}
+		}
+		// Idempotence: tokenizing the join of tokens yields the same tokens.
+		toks := Tokenize(s)
+		joined := ""
+		for i, tok := range toks {
+			if i > 0 {
+				joined += " "
+			}
+			joined += tok
+		}
+		again := Tokenize(joined)
+		if len(again) != len(toks) {
+			t.Fatalf("retokenize changed count: %v vs %v", toks, again)
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				t.Fatalf("retokenize changed token %d: %v vs %v", i, toks, again)
+			}
+		}
+	})
+}

@@ -1,0 +1,252 @@
+// Package invidx implements the inverted text index the system uses both to
+// bind keywords to relations (Phase 1 of the paper) and to accelerate the
+// CONTAINS predicates in the generated SQL queries.
+//
+// It is the stdlib substitute for the Lucene indexes of the paper's
+// evaluation (§3): for every text column of every table it records, per
+// token, the sorted set of row IDs containing that token.
+package invidx
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+
+	"kwsdbg/internal/storage"
+)
+
+// Tokenize lowercases s and splits it into maximal runs of letters and
+// digits. It is the single tokenizer used everywhere — the keyword binder and
+// the CONTAINS evaluator must agree on token boundaries, otherwise Phase 1
+// could bind a keyword that the SQL predicate then fails to match.
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// columnPostings maps token -> sorted row IDs for one column.
+type columnPostings map[string][]storage.RowID
+
+// tablePostings holds per-column postings plus the union per token.
+type tablePostings struct {
+	byColumn map[string]columnPostings
+	anyCol   columnPostings
+}
+
+// Index is an inverted index over every text column of a database. It is
+// immutable after Build and safe for concurrent use.
+type Index struct {
+	tables map[string]*tablePostings
+	// tablesByTerm[token] = sorted table names containing the token.
+	tablesByTerm map[string][]string
+}
+
+// Build scans the whole database and indexes every text column. Call it again
+// after mutating the data (the debugging workflow of the paper's introduction
+// updates synonym lists); indexes are cheap relative to the data load.
+func Build(db *storage.Database) *Index {
+	ix := &Index{
+		tables:       make(map[string]*tablePostings),
+		tablesByTerm: make(map[string][]string),
+	}
+	for _, rel := range db.Schema().Relations() {
+		textCols := rel.TextColumns()
+		if len(textCols) == 0 {
+			continue
+		}
+		tbl, ok := db.Table(rel.Name)
+		if !ok {
+			continue
+		}
+		tp := &tablePostings{
+			byColumn: make(map[string]columnPostings, len(textCols)),
+			anyCol:   make(columnPostings),
+		}
+		for _, c := range textCols {
+			tp.byColumn[c] = make(columnPostings)
+		}
+		colIdx := make([]int, len(textCols))
+		for i, c := range textCols {
+			colIdx[i] = rel.ColumnIndex(c)
+		}
+		tbl.Scan(func(id storage.RowID, row storage.Row) bool {
+			for i, c := range textCols {
+				for _, tok := range Tokenize(row[colIdx[i]].S) {
+					cp := tp.byColumn[c]
+					cp[tok] = appendUnique(cp[tok], id)
+					tp.anyCol[tok] = appendUnique(tp.anyCol[tok], id)
+				}
+			}
+			return true
+		})
+		ix.tables[rel.Name] = tp
+		for tok := range tp.anyCol {
+			ix.tablesByTerm[tok] = append(ix.tablesByTerm[tok], rel.Name)
+		}
+	}
+	for tok := range ix.tablesByTerm {
+		sort.Strings(ix.tablesByTerm[tok])
+	}
+	return ix
+}
+
+// appendUnique appends id if it is not already the last element. Rows are
+// scanned in increasing ID order, so postings stay sorted and deduplicated.
+func appendUnique(ids []storage.RowID, id storage.RowID) []storage.RowID {
+	if n := len(ids); n > 0 && ids[n-1] == id {
+		return ids
+	}
+	return append(ids, id)
+}
+
+// Tables returns the sorted names of the tables in which the keyword occurs
+// (as a token, in any text column). This is the Phase 1 binding lookup.
+// Multi-token keywords bind to the tables containing every token.
+func (ix *Index) Tables(keyword string) []string {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	result := ix.tablesByTerm[toks[0]]
+	for _, tok := range toks[1:] {
+		result = intersectStrings(result, ix.tablesByTerm[tok])
+	}
+	// Copy: callers may retain the slice.
+	out := make([]string, len(result))
+	copy(out, result)
+	return out
+}
+
+func intersectStrings(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Contains reports whether the keyword occurs in some tuple of the table.
+func (ix *Index) Contains(table, keyword string) bool {
+	return len(ix.RowsAny(table, keyword)) > 0
+}
+
+// RowsAny returns the sorted IDs of rows of table in which the keyword occurs
+// in any text column. Multi-token keywords require every token (possibly in
+// different columns, matching "and" semantics within a keyword phrase).
+func (ix *Index) RowsAny(table, keyword string) []storage.RowID {
+	tp, ok := ix.tables[table]
+	if !ok {
+		return nil
+	}
+	return lookup(tp.anyCol, keyword)
+}
+
+// Rows returns the sorted IDs of rows of table whose given column contains
+// the keyword. This is the evaluator for a single-column CONTAINS predicate.
+func (ix *Index) Rows(table, column, keyword string) []storage.RowID {
+	tp, ok := ix.tables[table]
+	if !ok {
+		return nil
+	}
+	cp, ok := tp.byColumn[column]
+	if !ok {
+		return nil
+	}
+	return lookup(cp, keyword)
+}
+
+func lookup(cp columnPostings, keyword string) []storage.RowID {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	result := cp[toks[0]]
+	for _, tok := range toks[1:] {
+		result = IntersectRowIDs(result, cp[tok])
+	}
+	out := make([]storage.RowID, len(result))
+	copy(out, result)
+	return out
+}
+
+// IntersectRowIDs intersects two sorted row-ID slices.
+func IntersectRowIDs(a, b []storage.RowID) []storage.RowID {
+	var out []storage.RowID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// UnionRowIDs unions two sorted row-ID slices.
+func UnionRowIDs(a, b []storage.RowID) []storage.RowID {
+	out := make([]storage.RowID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Stats summarizes the index for logs and the experiment harness.
+type Stats struct {
+	Tables int // tables with at least one text column
+	Terms  int // distinct tokens across all tables
+}
+
+// Stats returns index-size statistics.
+func (ix *Index) Stats() Stats {
+	return Stats{Tables: len(ix.tables), Terms: len(ix.tablesByTerm)}
+}
+
+// String implements fmt.Stringer for Stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("invidx{tables=%d terms=%d}", s.Tables, s.Terms)
+}

@@ -1,0 +1,96 @@
+package lattice
+
+import (
+	"math/rand"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+)
+
+// benchSchema is the Figure 2 product schema, rebuilt without *testing.T so
+// benchmarks can share it.
+func benchSchema(tb testing.TB) *catalog.Schema {
+	tb.Helper()
+	return catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("PType",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "ptype", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Color",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "color", Type: catalog.Text},
+			catalog.Column{Name: "synonyms", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Attr",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "property", Type: catalog.Text},
+			catalog.Column{Name: "value", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Item",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "name", Type: catalog.Text},
+			catalog.Column{Name: "ptype", Type: catalog.Int},
+			catalog.Column{Name: "color", Type: catalog.Int},
+			catalog.Column{Name: "attr", Type: catalog.Int},
+			catalog.Column{Name: "description", Type: catalog.Text})).
+		AddEdge("Item", "ptype", "PType", "id").
+		AddEdge("Item", "color", "Color", "id").
+		AddEdge("Item", "attr", "Attr", "id").
+		MustBuild()
+}
+
+// BenchmarkGenerateProductL4 measures Phase 0 on the four-table Figure 2
+// schema at four levels.
+func BenchmarkGenerateProductL4(b *testing.B) {
+	schema := benchSchema(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(schema, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCanonicalLabel measures Algorithm 2 on lattice nodes of mixed
+// sizes, the inner loop of both generation and child linking.
+func BenchmarkCanonicalLabel(b *testing.B) {
+	l, err := Generate(benchSchema(b), 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	nodes := make([]*Node, 256)
+	for i := range nodes {
+		nodes[i] = l.Node(r.Intn(l.Len()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := nodes[i%len(nodes)]
+		if _, err := l.CanonicalLabel(n.Vertices, n.Edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSQLRender measures template instantiation (the per-node work when
+// a probe is issued).
+func BenchmarkSQLRender(b *testing.B) {
+	l, err := Generate(benchSchema(b), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target *Node
+	for _, id := range l.Level(3) {
+		if n := l.Node(id); n.IsTotal(2) {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		b.Fatal("no total level-3 node")
+	}
+	kws := []string{"k1", "k2", "k3"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.SQL(target, kws, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

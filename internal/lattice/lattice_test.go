@@ -1,0 +1,575 @@
+package lattice
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+)
+
+// exampleSchema is Example 2 of the paper: R(a, b), S(c, d), R.b -> S.c.
+func exampleSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	return catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("R",
+			catalog.Column{Name: "a", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "b", Type: catalog.Int},
+			catalog.Column{Name: "txt", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("S",
+			catalog.Column{Name: "c", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "d", Type: catalog.Text})).
+		AddEdge("R", "b", "S", "c").
+		MustBuild()
+}
+
+// productSchema is the Figure 2 product database schema.
+func productSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	return catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("PType",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "ptype", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Color",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "color", Type: catalog.Text},
+			catalog.Column{Name: "synonyms", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Attr",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "property", Type: catalog.Text},
+			catalog.Column{Name: "value", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("Item",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "name", Type: catalog.Text},
+			catalog.Column{Name: "ptype", Type: catalog.Int},
+			catalog.Column{Name: "color", Type: catalog.Int},
+			catalog.Column{Name: "attr", Type: catalog.Int},
+			catalog.Column{Name: "cost", Type: catalog.Float},
+			catalog.Column{Name: "description", Type: catalog.Text})).
+		AddEdge("Item", "ptype", "PType", "id").
+		AddEdge("Item", "color", "Color", "id").
+		AddEdge("Item", "attr", "Attr", "id").
+		MustBuild()
+}
+
+func TestGenerateExample2(t *testing.T) {
+	l, err := Generate(exampleSchema(t), 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Copies 0..2 per relation: 6 base nodes; level 2: all (Ri, Sj) pairs.
+	if got := len(l.Level(1)); got != 6 {
+		t.Errorf("level 1 nodes = %d, want 6", got)
+	}
+	if got := len(l.Level(2)); got != 9 {
+		t.Errorf("level 2 nodes = %d, want 9", got)
+	}
+	if l.Levels() != 2 {
+		t.Errorf("levels = %d, want 2", l.Levels())
+	}
+	st := l.Stats()
+	if len(st) != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Each level-2 tree is generated twice (once from each endpoint).
+	if st[1].Generated != 18 || st[1].Duplicates != 9 || st[1].Kept != 9 {
+		t.Errorf("level 2 stats = %+v", st[1])
+	}
+	if st[0].Duplicates != 0 {
+		t.Errorf("level 1 duplicates = %d", st[0].Duplicates)
+	}
+}
+
+func TestParentChildLinks(t *testing.T) {
+	l, err := Generate(exampleSchema(t), 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Find node R1 JOIN S2.
+	label, err := l.CanonicalLabel(
+		[]Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 2}},
+		[]JoinEdge{{A: 0, B: 1, EdgeID: 0, AFrom: true}})
+	if err != nil {
+		t.Fatalf("CanonicalLabel: %v", err)
+	}
+	n, ok := l.NodeByLabel(label)
+	if !ok {
+		t.Fatalf("node R1-S2 not found")
+	}
+	if len(n.Children) != 2 {
+		t.Fatalf("children = %v", n.Children)
+	}
+	kids := map[string]bool{}
+	for _, cid := range n.Children {
+		kids[l.Node(cid).String()] = true
+	}
+	if !kids["R#1"] || !kids["S#2"] {
+		t.Errorf("children = %v", kids)
+	}
+	// Base node R1 has parents R1-S0, R1-S1, R1-S2.
+	r1, ok := l.NodeByLabel(mustLabel(t, l, []Vertex{{Rel: "R", Copy: 1}}, nil))
+	if !ok {
+		t.Fatal("R1 not found")
+	}
+	if len(r1.Parents) != 3 {
+		t.Errorf("R1 parents = %d, want 3", len(r1.Parents))
+	}
+	if len(r1.Children) != 0 {
+		t.Errorf("R1 children = %v", r1.Children)
+	}
+}
+
+func mustLabel(t *testing.T, l *Lattice, vs []Vertex, es []JoinEdge) string {
+	t.Helper()
+	label, err := l.CanonicalLabel(vs, es)
+	if err != nil {
+		t.Fatalf("CanonicalLabel: %v", err)
+	}
+	return label
+}
+
+func TestGenerateProductSchema(t *testing.T) {
+	l, err := Generate(productSchema(t), 2)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// 4 relations x 4 copies = 16 base nodes.
+	if got := len(l.Level(1)); got != 16 {
+		t.Errorf("level 1 = %d, want 16", got)
+	}
+	// The Phase 1 example node Color1-Item0-PType2 must exist at level 3.
+	vs := []Vertex{{Rel: "Color", Copy: 1}, {Rel: "Item", Copy: 0}, {Rel: "PType", Copy: 2}}
+	es := []JoinEdge{
+		{A: 1, B: 0, EdgeID: 1, AFrom: true}, // Item.color -> Color.id
+		{A: 1, B: 2, EdgeID: 0, AFrom: true}, // Item.ptype -> PType.id
+	}
+	n, ok := l.NodeByLabel(mustLabel(t, l, vs, es))
+	if !ok {
+		t.Fatal("C1-I0-P2 node not found in lattice")
+	}
+	if n.Level != 3 {
+		t.Errorf("level = %d", n.Level)
+	}
+	if !n.IsTotal(2) {
+		t.Error("C1-I0-P2 should be total for a 2-keyword query")
+	}
+	if n.IsTotal(3) {
+		t.Error("C1-I0-P2 should not be total for a 3-keyword query")
+	}
+	// Its children are the two leaf removals: C1-I0 and I0-P2.
+	if len(n.Children) != 2 {
+		t.Errorf("children = %v", n.Children)
+	}
+}
+
+func TestCopyMaskAndTotality(t *testing.T) {
+	n := &Node{Vertices: []Vertex{{Rel: "A", Copy: 0}, {Rel: "B", Copy: 2}}}
+	n.CopyMask = computeCopyMask(n.Vertices)
+	if n.CopyMask != 0b101 {
+		t.Errorf("mask = %b", n.CopyMask)
+	}
+	if n.IsTotal(2) {
+		t.Error("missing keyword 1 but total")
+	}
+	if n.IsTotal(0) {
+		t.Error("zero keywords cannot be total")
+	}
+	full := &Node{Vertices: []Vertex{{Rel: "A", Copy: 1}, {Rel: "B", Copy: 2}}}
+	full.CopyMask = computeCopyMask(full.Vertices)
+	if !full.IsTotal(2) {
+		t.Error("full cover not total")
+	}
+}
+
+func TestSelfEdgeOrientations(t *testing.T) {
+	// Person.advisor -> Person.id: both orientations of a pair must appear.
+	schema := catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("Person",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "advisor", Type: catalog.Int},
+			catalog.Column{Name: "name", Type: catalog.Text})).
+		AddEdge("Person", "advisor", "Person", "id").
+		MustBuild()
+	l, err := Generate(schema, 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// Copies {0,1,2}: unordered pairs {i,j}, i != j -> 3, each with 2
+	// orientations -> 6 level-2 nodes.
+	if got := len(l.Level(2)); got != 6 {
+		t.Errorf("level 2 = %d, want 6", got)
+	}
+}
+
+func TestParallelSchemaEdges(t *testing.T) {
+	// coauthor has two FKs to Person; joining via p1 differs from via p2.
+	schema := catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("Person",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "name", Type: catalog.Text})).
+		AddRelation(catalog.MustRelation("coauthor",
+			catalog.Column{Name: "p1", Type: catalog.Int},
+			catalog.Column{Name: "p2", Type: catalog.Int})).
+		AddEdge("coauthor", "p1", "Person", "id").
+		AddEdge("coauthor", "p2", "Person", "id").
+		MustBuild()
+	l, err := Generate(schema, 1)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	// coauthor has no text columns, so it only exists as the free copy 0:
+	// pairs (coauthor_0, Person_j): 3, times 2 schema edges = 6.
+	if got := len(l.Level(2)); got != 6 {
+		t.Errorf("level 2 = %d, want 6", got)
+	}
+	// The literal Algorithm 1 keeps keyword copies everywhere: 3x3 pairs
+	// times 2 schema edges = 18.
+	full, err := GenerateOpts(schema, Options{MaxJoins: 1, CopiesForTextlessRelations: true})
+	if err != nil {
+		t.Fatalf("GenerateOpts: %v", err)
+	}
+	if got := len(full.Level(2)); got != 18 {
+		t.Errorf("full level 2 = %d, want 18", got)
+	}
+}
+
+func TestKeywordSlotsCap(t *testing.T) {
+	// Capping slots at 1 keeps only copies {0, 1} per text relation.
+	l, err := GenerateOpts(exampleSchema(t), Options{MaxJoins: 1, KeywordSlots: 1})
+	if err != nil {
+		t.Fatalf("GenerateOpts: %v", err)
+	}
+	if got := len(l.Level(1)); got != 4 {
+		t.Errorf("level 1 = %d, want 4", got)
+	}
+	if got := len(l.Level(2)); got != 4 {
+		t.Errorf("level 2 = %d, want 4", got)
+	}
+	if l.KeywordSlots() != 1 {
+		t.Errorf("KeywordSlots = %d", l.KeywordSlots())
+	}
+	if _, err := GenerateOpts(exampleSchema(t), Options{MaxJoins: 1, KeywordSlots: 99}); err == nil {
+		t.Error("slots 99 accepted")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(exampleSchema(t), -1); err == nil {
+		t.Error("negative maxJoins accepted")
+	}
+	empty := catalog.NewSchemaBuilder().MustBuild()
+	if _, err := Generate(empty, 1); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestLevelBounds(t *testing.T) {
+	l, _ := Generate(exampleSchema(t), 1)
+	if l.Level(0) != nil || l.Level(3) != nil || l.Level(-1) != nil {
+		t.Error("out-of-range Level returned nodes")
+	}
+	if _, ok := l.NodeByLabel("nope"); ok {
+		t.Error("NodeByLabel(nope) found something")
+	}
+}
+
+func TestCanonicalLabelErrors(t *testing.T) {
+	l, _ := Generate(exampleSchema(t), 1)
+	cases := []struct {
+		name string
+		vs   []Vertex
+		es   []JoinEdge
+	}{
+		{"empty", nil, nil},
+		{"not a tree", []Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 1}}, nil},
+		{"duplicate vertex", []Vertex{{Rel: "R", Copy: 1}, {Rel: "R", Copy: 1}},
+			[]JoinEdge{{A: 0, B: 1, EdgeID: 0}}},
+		{"unknown relation", []Vertex{{Rel: "X", Copy: 1}}, nil},
+		{"copy out of range", []Vertex{{Rel: "R", Copy: 9}}, nil},
+		{"edge id out of range", []Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 1}},
+			[]JoinEdge{{A: 0, B: 1, EdgeID: 5}}},
+		{"endpoint out of range", []Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 1}},
+			[]JoinEdge{{A: 0, B: 7, EdgeID: 0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := l.CanonicalLabel(tc.vs, tc.es); err == nil {
+				t.Error("no error")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(productSchema(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(productSchema(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Node(i).Label != b.Node(i).Label {
+			t.Fatalf("node %d label differs", i)
+		}
+	}
+}
+
+// Property: the canonical label is invariant under permutations of vertex
+// order, edge order, and edge endpoint orientation.
+func TestCanonicalLabelIsomorphismProperty(t *testing.T) {
+	l, err := Generate(productSchema(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 400; iter++ {
+		n := l.Node(r.Intn(l.Len()))
+		// Random vertex permutation.
+		perm := r.Perm(len(n.Vertices))
+		vs := make([]Vertex, len(n.Vertices))
+		for i, p := range perm {
+			vs[p] = n.Vertices[i]
+		}
+		es := make([]JoinEdge, len(n.Edges))
+		for i, e := range n.Edges {
+			ne := JoinEdge{A: perm[e.A], B: perm[e.B], EdgeID: e.EdgeID, AFrom: e.AFrom}
+			if r.Intn(2) == 0 { // swap endpoints, flipping the orientation bit
+				ne.A, ne.B, ne.AFrom = ne.B, ne.A, !ne.AFrom
+			}
+			es[i] = ne
+		}
+		r.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+		got, err := l.CanonicalLabel(vs, es)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if got != n.Label {
+			t.Fatalf("iter %d: label changed under isomorphism\nnode: %s\ngot:  %s\nwant: %s",
+				iter, n, got, n.Label)
+		}
+	}
+}
+
+// Property: distinct lattice nodes have distinct labels and children are
+// exactly one level below with subset vertex sets.
+func TestLatticeInvariants(t *testing.T) {
+	l, err := Generate(productSchema(t), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]int)
+	for i := 0; i < l.Len(); i++ {
+		n := l.Node(i)
+		if prev, dup := seen[n.Label]; dup {
+			t.Fatalf("nodes %d and %d share label %q", prev, i, n.Label)
+		}
+		seen[n.Label] = i
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if err := validateTree(n.Vertices, n.Edges); err != nil {
+			t.Errorf("node %d: %v", i, err)
+		}
+		for _, cid := range n.Children {
+			c := l.Node(cid)
+			if c.Level != n.Level-1 {
+				t.Errorf("node %d child %d level %d, want %d", i, cid, c.Level, n.Level-1)
+			}
+			for _, v := range c.Vertices {
+				if !n.HasVertex(v.Rel, v.Copy) {
+					t.Errorf("node %d child %d has alien vertex %s", i, cid, v)
+				}
+			}
+		}
+		for _, pid := range n.Parents {
+			p := l.Node(pid)
+			found := false
+			for _, cid := range p.Children {
+				if cid == n.ID {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("parent %d does not list %d as child", pid, n.ID)
+			}
+		}
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	l, err := Generate(exampleSchema(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := mustLabel(t, l,
+		[]Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 2}},
+		[]JoinEdge{{A: 0, B: 1, EdgeID: 0, AFrom: true}})
+	n, _ := l.NodeByLabel(label)
+	sql, err := l.SQL(n, []string{"k1", "k2"}, true)
+	if err != nil {
+		t.Fatalf("SQL: %v", err)
+	}
+	// The node's vertex order is canonical-generation order; accept either
+	// alias arrangement but require the structural pieces.
+	for _, want := range []string{
+		"SELECT 1 FROM ",
+		"R AS t", "S AS t",
+		".b = t", // join on R.b = S.c
+		"CONTAINS 'k1'", "CONTAINS 'k2'",
+		"LIMIT 1",
+	} {
+		if !strings.Contains(sql, want) {
+			t.Errorf("SQL missing %q:\n%s", want, sql)
+		}
+	}
+	// R has one text column (txt) -> bare comparison; S likewise.
+	if strings.Count(sql, "CONTAINS") != 2 {
+		t.Errorf("CONTAINS count in %s", sql)
+	}
+	// Full (non-exists) rendering.
+	sql, err = l.SQL(n, []string{"k1", "k2"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sql, "SELECT * FROM") || strings.Contains(sql, "LIMIT") {
+		t.Errorf("full SQL = %s", sql)
+	}
+}
+
+func TestSQLMultiTextColumnsOrGroup(t *testing.T) {
+	l, err := Generate(productSchema(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := l.NodeByLabel(mustLabel(t, l, []Vertex{{Rel: "Color", Copy: 1}}, nil))
+	if !ok {
+		t.Fatal("Color1 not found")
+	}
+	sql, err := l.SQL(n, []string{"saffron"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT 1 FROM Color AS t0 WHERE (t0.color CONTAINS 'saffron' OR t0.synonyms CONTAINS 'saffron') LIMIT 1"
+	if sql != want {
+		t.Errorf("sql = %s\nwant  %s", sql, want)
+	}
+}
+
+func TestSQLErrors(t *testing.T) {
+	l, err := Generate(exampleSchema(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := l.NodeByLabel(mustLabel(t, l, []Vertex{{Rel: "R", Copy: 2}}, nil))
+	if _, err := l.SQL(n, []string{"only-one"}, true); err == nil {
+		t.Error("copy 2 with 1 keyword rendered")
+	}
+	// Relation without text columns cannot take a keyword. Such nodes only
+	// exist under the literal-Algorithm-1 option.
+	schema := catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("NoText",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true})).
+		MustBuild()
+	l2, err := GenerateOpts(schema, Options{MaxJoins: 0, CopiesForTextlessRelations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := l2.NodeByLabel(mustLabel(t, l2, []Vertex{{Rel: "NoText", Copy: 1}}, nil))
+	if _, err := l2.SQL(n2, []string{"kw"}, true); err == nil {
+		t.Error("keyword on text-less relation rendered")
+	}
+}
+
+func TestFreeNodeSQLHasNoPredicates(t *testing.T) {
+	l, err := Generate(exampleSchema(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := l.NodeByLabel(mustLabel(t, l, []Vertex{{Rel: "R", Copy: 0}}, nil))
+	sql, err := l.SQL(n, []string{"k1"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sql != "SELECT 1 FROM R AS t0 LIMIT 1" {
+		t.Errorf("sql = %s", sql)
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := &Node{Vertices: []Vertex{{Rel: "Color", Copy: 1}, {Rel: "Item", Copy: 0}}}
+	if got := n.String(); got != "Color#1-Item#0" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestParallelGenerationIdentical pins the Workers guarantee: any worker
+// count yields a bit-identical lattice (IDs, labels, links, stats).
+func TestParallelGenerationIdentical(t *testing.T) {
+	ref, err := GenerateOpts(productSchema(t), Options{MaxJoins: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		got, err := GenerateOpts(productSchema(t), Options{MaxJoins: 3, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Len() != ref.Len() {
+			t.Fatalf("workers=%d: %d nodes, want %d", workers, got.Len(), ref.Len())
+		}
+		for i := 0; i < ref.Len(); i++ {
+			a, b := ref.Node(i), got.Node(i)
+			if a.Label != b.Label {
+				t.Fatalf("workers=%d: node %d label %q != %q", workers, i, b.Label, a.Label)
+			}
+			if len(a.Children) != len(b.Children) {
+				t.Fatalf("workers=%d: node %d children differ", workers, i)
+			}
+			for j := range a.Children {
+				if a.Children[j] != b.Children[j] {
+					t.Fatalf("workers=%d: node %d child %d differs", workers, i, j)
+				}
+			}
+		}
+		for i, st := range ref.Stats() {
+			if got.Stats()[i].Kept != st.Kept || got.Stats()[i].Duplicates != st.Duplicates {
+				t.Fatalf("workers=%d: level %d stats differ", workers, st.Level)
+			}
+		}
+	}
+}
+
+func TestIsCandidateNetwork(t *testing.T) {
+	mk := func(vs []Vertex, es []JoinEdge) *Node {
+		return &Node{Vertices: vs, Edges: es}
+	}
+	cases := []struct {
+		name string
+		n    *Node
+		want bool
+	}{
+		{"single bound vertex", mk([]Vertex{{Rel: "R", Copy: 1}}, nil), true},
+		{"single free vertex", mk([]Vertex{{Rel: "R", Copy: 0}}, nil), false},
+		{"free leaf", mk(
+			[]Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 0}},
+			[]JoinEdge{{A: 0, B: 1, EdgeID: 0}}), false},
+		{"bound leaves, free interior", mk(
+			[]Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 0}, {Rel: "T", Copy: 2}},
+			[]JoinEdge{{A: 0, B: 1, EdgeID: 0}, {A: 1, B: 2, EdgeID: 1}}), true},
+		{"redundant leaf coverage", mk(
+			[]Vertex{{Rel: "R", Copy: 1}, {Rel: "S", Copy: 1}},
+			[]JoinEdge{{A: 0, B: 1, EdgeID: 0}}), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.n.IsCandidateNetwork(); got != tc.want {
+				t.Errorf("IsCandidateNetwork = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package lattice
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	schema := productSchema(t)
+	orig, err := GenerateOpts(schema, Options{MaxJoins: 2, KeywordSlots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf, schema)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), orig.Len())
+	}
+	if got.MaxJoins() != orig.MaxJoins() || got.KeywordSlots() != orig.KeywordSlots() {
+		t.Errorf("options differ: %d/%d vs %d/%d",
+			got.MaxJoins(), got.KeywordSlots(), orig.MaxJoins(), orig.KeywordSlots())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.Node(i), got.Node(i)
+		if a.Label != b.Label || a.Level != b.Level || a.CopyMask != b.CopyMask {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+		if len(a.Children) != len(b.Children) || len(a.Parents) != len(b.Parents) {
+			t.Fatalf("node %d links differ", i)
+		}
+		for j := range a.Children {
+			if a.Children[j] != b.Children[j] {
+				t.Fatalf("node %d child %d differs", i, j)
+			}
+		}
+		for j := range a.Parents {
+			if a.Parents[j] != b.Parents[j] {
+				t.Fatalf("node %d parent %d differs", i, j)
+			}
+		}
+	}
+	if len(got.Stats()) != len(orig.Stats()) {
+		t.Fatalf("stats differ")
+	}
+	for k := 1; k <= orig.Levels(); k++ {
+		a, b := orig.Level(k), got.Level(k)
+		if len(a) != len(b) {
+			t.Fatalf("level %d sizes differ", k)
+		}
+		for i := range a {
+			if orig.Node(a[i]).Label != got.Node(b[i]).Label {
+				t.Fatalf("level %d order differs at %d", k, i)
+			}
+		}
+	}
+	// The loaded lattice renders SQL identically.
+	n, ok := got.NodeByLabel(orig.Node(5).Label)
+	if !ok {
+		t.Fatal("label lookup failed on loaded lattice")
+	}
+	sqlOrig, err1 := orig.SQL(orig.Node(5), []string{"a", "b", "c"}, true)
+	sqlGot, err2 := got.SQL(n, []string{"a", "b", "c"}, true)
+	if (err1 == nil) != (err2 == nil) || (err1 == nil && sqlOrig != sqlGot) {
+		t.Errorf("SQL differs after load: %q vs %q (%v, %v)", sqlOrig, sqlGot, err1, err2)
+	}
+}
+
+func TestLoadErrorCases(t *testing.T) {
+	schema := productSchema(t)
+	orig, err := GenerateOpts(schema, Options{MaxJoins: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.Bytes()
+
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := Load(strings.NewReader("not a gob stream"), schema); err == nil {
+			t.Error("garbage accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Load(bytes.NewReader(saved[:len(saved)/2]), schema); err == nil {
+			t.Error("truncated stream accepted")
+		}
+	})
+	t.Run("wrong schema", func(t *testing.T) {
+		other := catalog.NewSchemaBuilder().
+			AddRelation(catalog.MustRelation("X",
+				catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+				catalog.Column{Name: "t", Type: catalog.Text})).
+			MustBuild()
+		if _, err := Load(bytes.NewReader(saved), other); err == nil ||
+			!strings.Contains(err.Error(), "schema") {
+			t.Errorf("wrong schema: err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package lattice
+
+import (
+	"fmt"
+
+	"kwsdbg/internal/sqltext"
+)
+
+// Select instantiates the node's SQL query template against a keyword query
+// (Phase 1's instantiation step). Vertex copies j >= 1 receive the predicate
+// of the j-th keyword — an OR over the relation's text columns of CONTAINS —
+// and copy 0 (the free tuple set) receives no predicate. With exists set, the
+// query is the existence probe the traversal strategies issue
+// ("SELECT 1 ... LIMIT 1"); otherwise it returns full result tuples.
+func (l *Lattice) Select(n *Node, keywords []string, exists bool) (*sqltext.Select, error) {
+	sel := &sqltext.Select{Limit: -1}
+	if exists {
+		sel.Projection.One = true
+		sel.Limit = 1
+	} else {
+		sel.Projection.Star = true
+	}
+	aliases := make([]string, len(n.Vertices))
+	for i, v := range n.Vertices {
+		aliases[i] = fmt.Sprintf("t%d", i)
+		sel.From = append(sel.From, sqltext.TableRef{Table: v.Rel, Alias: aliases[i]})
+	}
+	for _, e := range n.Edges {
+		edge := l.schema.Edges()[e.EdgeID]
+		aCol, bCol := edge.FromCol, edge.ToCol
+		if !e.AFrom {
+			aCol, bCol = edge.ToCol, edge.FromCol
+		}
+		sel.Where = append(sel.Where, sqltext.Comparison{
+			Left:  sqltext.ColRef{Qualifier: aliases[e.A], Column: aCol},
+			Op:    sqltext.OpEq,
+			Right: sqltext.ColOperand(sqltext.ColRef{Qualifier: aliases[e.B], Column: bCol}),
+		})
+	}
+	for i, v := range n.Vertices {
+		if v.Copy == 0 {
+			continue
+		}
+		if v.Copy > len(keywords) {
+			return nil, fmt.Errorf("lattice: node %s needs keyword %d, query has %d", n, v.Copy, len(keywords))
+		}
+		pred, err := l.keywordPredicate(aliases[i], v.Rel, keywords[v.Copy-1])
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = append(sel.Where, pred)
+	}
+	return sel, nil
+}
+
+// keywordPredicate builds "(alias.c1 CONTAINS kw OR alias.c2 CONTAINS kw...)"
+// over the relation's text columns.
+func (l *Lattice) keywordPredicate(alias, rel, keyword string) (sqltext.Predicate, error) {
+	r, ok := l.schema.Relation(rel)
+	if !ok {
+		return nil, fmt.Errorf("lattice: unknown relation %q", rel)
+	}
+	cols := r.TextColumns()
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("lattice: relation %q has no text columns to match keyword %q", rel, keyword)
+	}
+	terms := make([]sqltext.Predicate, len(cols))
+	for i, c := range cols {
+		terms[i] = sqltext.Comparison{
+			Left:  sqltext.ColRef{Qualifier: alias, Column: c},
+			Op:    sqltext.OpContains,
+			Right: sqltext.LitOperand(sqltext.StringLit(keyword)),
+		}
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return sqltext.OrGroup{Terms: terms}, nil
+}
+
+// SQL renders the instantiated query as SQL text.
+func (l *Lattice) SQL(n *Node, keywords []string, exists bool) (string, error) {
+	sel, err := l.Select(n, keywords, exists)
+	if err != nil {
+		return "", err
+	}
+	return sqltext.Print(sel), nil
+}

@@ -1,0 +1,162 @@
+// Package report renders debugger outputs for people and for machines: an
+// indented text form for terminals (what cmd/kwsdbg prints) and a stable
+// JSON form for tooling that post-processes non-answer explanations (the
+// paper's §1 suggests filters and priority hierarchies are built downstream
+// of the debugger — JSON is the interchange point for that).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"kwsdbg/internal/core"
+)
+
+// Options controls text rendering.
+type Options struct {
+	// ShowSQL includes each reported query's SQL text.
+	ShowSQL bool
+	// MaxMPANs caps the explanations printed per non-answer (0 = all).
+	MaxMPANs int
+	// Preview fetches up to this many result tuples per alive query; it
+	// requires Sys to be set.
+	Preview int
+	// Sys supplies result fetching for Preview.
+	Sys *core.System
+}
+
+// Text writes the human-readable report.
+func Text(w io.Writer, out *core.Output, opts Options) error {
+	if len(out.NonKeywords) > 0 {
+		_, err := fmt.Fprintf(w, "keywords not found anywhere in the data: %s\n",
+			strings.Join(out.NonKeywords, ", "))
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%d answer queries, %d non-answer queries (%d SQL probes, %v)\n",
+		len(out.Answers), len(out.NonAnswers), out.Stats.SQLExecuted, out.Stats.SQLTime); err != nil {
+		return err
+	}
+	for _, a := range out.Answers {
+		if _, err := fmt.Fprintf(w, "ALIVE %s\n", a.Tree); err != nil {
+			return err
+		}
+		if opts.ShowSQL {
+			fmt.Fprintf(w, "      %s\n", a.SQL)
+		}
+		if opts.Preview > 0 && opts.Sys != nil {
+			preview(w, opts.Sys, out.Keywords, a.NodeID, opts.Preview)
+		}
+	}
+	for _, na := range out.NonAnswers {
+		if _, err := fmt.Fprintf(w, "DEAD  %s\n", na.Query.Tree); err != nil {
+			return err
+		}
+		if opts.ShowSQL {
+			fmt.Fprintf(w, "      %s\n", na.Query.SQL)
+		}
+		shown := 0
+		for _, p := range na.MPANs {
+			if opts.MaxMPANs > 0 && shown >= opts.MaxMPANs {
+				fmt.Fprintf(w, "      ... and %d more maximal alive sub-queries\n", len(na.MPANs)-shown)
+				break
+			}
+			fmt.Fprintf(w, "      alive up to: %s\n", p.Tree)
+			if opts.ShowSQL {
+				fmt.Fprintf(w, "        %s\n", p.SQL)
+			}
+			shown++
+		}
+	}
+	return nil
+}
+
+func preview(w io.Writer, sys *core.System, keywords []string, nodeID, limit int) {
+	cols, rows, err := sys.Results(nodeID, keywords, limit)
+	if err != nil {
+		fmt.Fprintf(w, "      (preview failed: %v)\n", err)
+		return
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%s=%s", cols[i], v.String())
+		}
+		line := strings.Join(parts, " ")
+		if len(line) > 160 {
+			line = line[:157] + "..."
+		}
+		fmt.Fprintf(w, "      %s\n", line)
+	}
+}
+
+// jsonOutput is the stable JSON schema.
+type jsonOutput struct {
+	Keywords    []string    `json:"keywords"`
+	NonKeywords []string    `json:"non_keywords,omitempty"`
+	Answers     []jsonQuery `json:"answers"`
+	NonAnswers  []jsonDead  `json:"non_answers"`
+	Stats       jsonStats   `json:"stats"`
+}
+
+type jsonQuery struct {
+	Node  int    `json:"node"`
+	Level int    `json:"level"`
+	Tree  string `json:"tree"`
+	SQL   string `json:"sql,omitempty"`
+}
+
+type jsonDead struct {
+	Query jsonQuery   `json:"query"`
+	MPANs []jsonQuery `json:"mpans"`
+}
+
+type jsonStats struct {
+	Strategy     string  `json:"strategy"`
+	LatticeNodes int     `json:"lattice_nodes"`
+	PrunedNodes  int     `json:"pruned_nodes"`
+	MTNs         int     `json:"mtns"`
+	SQLExecuted  int     `json:"sql_executed"`
+	Inferred     int     `json:"inferred"`
+	SQLMillis    float64 `json:"sql_ms"`
+}
+
+// JSON writes the machine-readable report.
+func JSON(w io.Writer, out *core.Output, showSQL bool) error {
+	conv := func(q core.QueryInfo) jsonQuery {
+		jq := jsonQuery{Node: q.NodeID, Level: q.Level, Tree: q.Tree}
+		if showSQL {
+			jq.SQL = q.SQL
+		}
+		return jq
+	}
+	jo := jsonOutput{
+		Keywords:    out.Keywords,
+		NonKeywords: out.NonKeywords,
+		Answers:     []jsonQuery{},
+		NonAnswers:  []jsonDead{},
+		Stats: jsonStats{
+			Strategy:     out.Stats.Strategy.String(),
+			LatticeNodes: out.Stats.LatticeNodes,
+			PrunedNodes:  out.Stats.PrunedNodes,
+			MTNs:         out.Stats.MTNs,
+			SQLExecuted:  out.Stats.SQLExecuted,
+			Inferred:     out.Stats.Inferred,
+			SQLMillis:    float64(out.Stats.SQLTime.Microseconds()) / 1000,
+		},
+	}
+	for _, a := range out.Answers {
+		jo.Answers = append(jo.Answers, conv(a))
+	}
+	for _, na := range out.NonAnswers {
+		jd := jsonDead{Query: conv(na.Query), MPANs: []jsonQuery{}}
+		for _, p := range na.MPANs {
+			jd.MPANs = append(jd.MPANs, conv(p))
+		}
+		jo.NonAnswers = append(jo.NonAnswers, jd)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jo)
+}

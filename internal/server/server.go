@@ -1,0 +1,183 @@
+// Package server exposes the debugger and the search operation over HTTP as
+// JSON, so the system can back a search box the way the paper's introduction
+// frames it (e-commerce sites suppressing "no results found") while the
+// debugging endpoint serves the developers behind it.
+//
+// Endpoints:
+//
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1]
+//	GET /search?q=red+candle[&k=10]
+//	GET /healthz
+//
+// All responses are JSON; errors use {"error": "..."} with a 4xx/5xx status.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/report"
+)
+
+// Server wires a debugger into an http.Handler.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+	// Timeout bounds each request's probing work; zero means no bound.
+	Timeout time.Duration
+}
+
+// New builds the handler around a ready system.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux(), Timeout: 30 * time.Second}
+	s.mux.HandleFunc("/debug", s.handleDebug)
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) context(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.Timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.Timeout)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// keywords parses the q parameter into keyword fields.
+func keywords(r *http.Request) ([]string, error) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		return nil, fmt.Errorf("missing q parameter")
+	}
+	return strings.Fields(q), nil
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	kws, err := keywords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	strat := core.SBH
+	if name := r.URL.Query().Get("strategy"); name != "" {
+		strat, err = parseStrategy(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	ctx, cancel := s.context(r)
+	defer cancel()
+	out, err := s.sys.DebugContext(ctx, kws, core.Options{Strategy: strat})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	showSQL := r.URL.Query().Get("sql") == "1"
+	if err := report.JSON(w, out, showSQL); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// searchResponse is the /search JSON schema. When the query has no exact
+// matches, partials carries the maximal sub-queries' results (the paper's
+// Figure 1 behaviour) with the keywords each one covers.
+type searchResponse struct {
+	Keywords []string        `json:"keywords"`
+	Missing  []string        `json:"missing,omitempty"`
+	Results  []searchResult  `json:"results"`
+	Partials []partialResult `json:"partials,omitempty"`
+}
+
+type searchResult struct {
+	Score float64           `json:"score"`
+	Tree  string            `json:"tree"`
+	Tuple map[string]string `json:"tuple"`
+}
+
+type partialResult struct {
+	Covered []string `json:"covered"`
+	searchResult
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	kws, err := keywords(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		k, err = strconv.Atoi(raw)
+		if err != nil || k <= 0 || k > 1000 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k parameter %q", raw))
+			return
+		}
+	}
+	results, partials, missing, err := s.sys.SearchPartial(kws, k)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	conv := func(res core.SearchResult) searchResult {
+		tuple := make(map[string]string, len(res.Tuple))
+		for i, v := range res.Tuple {
+			tuple[res.Columns[i]] = v.String()
+		}
+		return searchResult{Score: res.Score, Tree: res.Query.Tree, Tuple: tuple}
+	}
+	resp := searchResponse{Keywords: kws, Missing: missing, Results: []searchResult{}}
+	for _, res := range results {
+		resp.Results = append(resp.Results, conv(res))
+	}
+	for _, p := range partials {
+		resp.Partials = append(resp.Partials, partialResult{Covered: p.Covered, searchResult: conv(p.SearchResult)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":        "ok",
+		"lattice_nodes": s.sys.Lattice().Len(),
+		"levels":        s.sys.Lattice().Levels(),
+		"tuples":        s.sys.Engine().Database().TotalRows(),
+	})
+}
+
+func parseStrategy(name string) (core.Strategy, error) {
+	switch strings.ToUpper(name) {
+	case "BU":
+		return core.BU, nil
+	case "TD":
+		return core.TD, nil
+	case "BUWR":
+		return core.BUWR, nil
+	case "TDWR":
+		return core.TDWR, nil
+	case "SBH":
+		return core.SBH, nil
+	case "RE":
+		return core.RE, nil
+	default:
+		return 0, fmt.Errorf("unknown strategy %q", name)
+	}
+}

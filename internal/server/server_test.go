@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	eng, err := figure2.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(sys)
+}
+
+func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, rec.Body.String())
+	}
+	return rec, body
+}
+
+func TestHealth(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body["status"] != "ok" || body["lattice_nodes"].(float64) <= 0 {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestDebugEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle&strategy=TDWR&sql=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	nonAnswers := body["non_answers"].([]any)
+	if len(nonAnswers) != 4 {
+		t.Fatalf("non_answers = %d", len(nonAnswers))
+	}
+	first := nonAnswers[0].(map[string]any)["query"].(map[string]any)
+	if first["sql"] == nil || !strings.HasPrefix(first["sql"].(string), "SELECT") {
+		t.Errorf("sql=1 did not include SQL: %v", first)
+	}
+	stats := body["stats"].(map[string]any)
+	if stats["strategy"] != "TDWR" {
+		t.Errorf("strategy = %v", stats["strategy"])
+	}
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/search?q=scented+candle&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	results := body["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	top := results[0].(map[string]any)
+	if top["score"].(float64) <= 0 || top["tree"] == "" {
+		t.Errorf("top result = %v", top)
+	}
+	if _, ok := top["tuple"].(map[string]any); !ok {
+		t.Errorf("tuple missing: %v", top)
+	}
+	// Missing keyword reports rather than errors.
+	rec, body = get(t, s, "/search?q=zzz+candle")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if missing := body["missing"].([]any); len(missing) != 1 || missing[0] != "zzz" {
+		t.Errorf("missing = %v", body["missing"])
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := testServer(t)
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/debug", http.StatusBadRequest},
+		{"/debug?q=", http.StatusBadRequest},
+		{"/debug?q=a+b+c+d", http.StatusUnprocessableEntity}, // too many keywords
+		{"/debug?q=x&strategy=NOPE", http.StatusBadRequest},
+		{"/search", http.StatusBadRequest},
+		{"/search?q=x&k=0", http.StatusBadRequest},
+		{"/search?q=x&k=9999", http.StatusBadRequest},
+		{"/search?q=x&k=abc", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec, body := get(t, s, tc.path)
+		if rec.Code != tc.want {
+			t.Errorf("GET %s: status %d, want %d (%v)", tc.path, rec.Code, tc.want, body)
+		}
+		if body["error"] == "" {
+			t.Errorf("GET %s: no error message", tc.path)
+		}
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	s := testServer(t)
+	s.Timeout = time.Nanosecond
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle&strategy=RE")
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d (%v); a nanosecond budget must abort probing", rec.Code, body)
+	}
+}
+
+func TestSearchPartialEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/search?q=saffron+scented+incense&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	if results := body["results"].([]any); len(results) != 0 {
+		t.Fatalf("dead query returned full results: %v", results)
+	}
+	partials, ok := body["partials"].([]any)
+	if !ok || len(partials) == 0 {
+		t.Fatalf("no partials for dead query: %v", body)
+	}
+	first := partials[0].(map[string]any)
+	if covered := first["covered"].([]any); len(covered) == 0 {
+		t.Errorf("partial without coverage: %v", first)
+	}
+}

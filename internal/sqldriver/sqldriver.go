@@ -1,0 +1,197 @@
+// Package sqldriver exposes the embedded engine through the standard
+// database/sql interface. The paper's system talked to PostgreSQL over JDBC;
+// the KWS-S layers here talk to the engine over database/sql, which keeps the
+// query path shaped the same way (SQL text in, rows out) and lets any code
+// written against *sql.DB run unchanged on the embedded engine.
+//
+// Usage:
+//
+//	e, _ := engine.Load(script)
+//	db := sqldriver.OpenDB(e)
+//	defer db.Close()
+//	rows, err := db.Query("SELECT 1 FROM Item WHERE name CONTAINS 'candle' LIMIT 1")
+//
+// Placeholders are not supported: a KWS-S system generates fully-instantiated
+// SQL strings (the lattice templates are instantiated in Phase 1), so the
+// driver keeps to that contract.
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/engine"
+)
+
+// DriverName is the name under which the driver registers with database/sql.
+const DriverName = "kwsdb"
+
+var (
+	registry sync.Map // dsn -> *engine.Engine
+	nextDSN  atomic.Int64
+)
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Register makes an engine reachable under the given DSN, so that
+// sql.Open("kwsdb", dsn) connects to it.
+func Register(dsn string, e *engine.Engine) {
+	registry.Store(dsn, e)
+}
+
+// Unregister removes a DSN registration. Open connections keep working; new
+// sql.Open calls for the DSN fail.
+func Unregister(dsn string) {
+	registry.Delete(dsn)
+}
+
+// OpenDB registers the engine under a fresh DSN and returns a *sql.DB for it.
+// This is the one-call path the examples and the debugger use.
+func OpenDB(e *engine.Engine) *sql.DB {
+	dsn := "engine-" + strconv.FormatInt(nextDSN.Add(1), 10)
+	Register(dsn, e)
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		// Open with a registered driver and well-formed DSN cannot fail.
+		panic(fmt.Sprintf("sqldriver: OpenDB: %v", err))
+	}
+	return db
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+// Open connects to the engine registered under the DSN.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	e, ok := registry.Load(dsn)
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: no engine registered under %q", dsn)
+	}
+	return &conn{eng: e.(*engine.Engine)}, nil
+}
+
+// conn is a stateless connection to one engine.
+type conn struct {
+	eng *engine.Engine
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+)
+
+// Prepare returns a statement that re-executes the SQL text on each call.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{conn: c, query: query}, nil
+}
+
+// Close releases the connection (a no-op: the engine is shared).
+func (c *conn) Close() error { return nil }
+
+// Begin is required by driver.Conn; the engine is read-mostly and does not
+// support transactions.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, fmt.Errorf("sqldriver: transactions are not supported")
+}
+
+// QueryContext executes a SELECT directly, bypassing Prepare.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	res, err := c.eng.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// ExecContext executes an INSERT directly, bypassing Prepare.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	n, err := c.eng.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{rows: n}, nil
+}
+
+// stmt is a prepared statement: just retained SQL text.
+type stmt struct {
+	conn  *conn
+	query string
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return 0 }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	return s.conn.ExecContext(context.Background(), s.query, nil)
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	return s.conn.QueryContext(context.Background(), s.query, nil)
+}
+
+// execResult reports affected rows; the engine has no auto-increment IDs.
+type execResult struct{ rows int64 }
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqldriver: LastInsertId is not supported")
+}
+
+func (r execResult) RowsAffected() (int64, error) { return r.rows, nil }
+
+// rows adapts an engine result set to driver.Rows.
+type rows struct {
+	res *engine.Result
+	pos int
+}
+
+func (r *rows) Columns() []string { return r.res.Columns }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		switch v.Kind {
+		case catalog.Int:
+			dest[i] = v.I
+		case catalog.Float:
+			dest[i] = v.F
+		case catalog.Text:
+			dest[i] = v.S
+		default:
+			return fmt.Errorf("sqldriver: unsupported value kind %d", int(v.Kind))
+		}
+	}
+	return nil
+}

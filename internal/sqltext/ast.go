@@ -1,0 +1,160 @@
+package sqltext
+
+import "kwsdbg/internal/catalog"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name        string
+	Columns     []catalog.Column
+	ForeignKeys []ForeignKey
+}
+
+// ForeignKey is one FOREIGN KEY (col) REFERENCES table(col) clause.
+type ForeignKey struct {
+	Column   string
+	RefTable string
+	RefCol   string
+}
+
+// Insert is an INSERT INTO ... VALUES statement; each row is a literal list.
+type Insert struct {
+	Table string
+	Rows  [][]Literal
+}
+
+// Select is a select-project-join query with optional WHERE and LIMIT.
+type Select struct {
+	Projection Projection
+	From       []TableRef
+	// Where is the conjunction of predicates; empty means no WHERE clause.
+	Where []Predicate
+	// Limit is the row limit, or -1 when absent.
+	Limit int
+}
+
+// Projection selects what SELECT emits.
+type Projection struct {
+	Star  bool     // SELECT *
+	Count bool     // SELECT COUNT(*)
+	One   bool     // SELECT 1 (existence probe)
+	Cols  []ColRef // explicit column list
+}
+
+// TableRef is one FROM-list entry. Alias defaults to the table name.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// ColRef references a column, optionally qualified by a FROM alias.
+type ColRef struct {
+	Qualifier string // alias or table; empty means unqualified
+	Column    string
+}
+
+// LitKind is the type of a literal.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitInt LitKind = iota
+	LitFloat
+	LitString
+)
+
+// Literal is a typed constant.
+type Literal struct {
+	Kind LitKind
+	I    int64
+	F    float64
+	S    string
+}
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpLike
+	OpNotLike
+	OpContains
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	case OpNotLike:
+		return "NOT LIKE"
+	case OpContains:
+		return "CONTAINS"
+	default:
+		return "?"
+	}
+}
+
+// Predicate is one WHERE-clause atom: a comparison or an OR-group.
+type Predicate interface{ pred() }
+
+// Comparison is "left op right" where right is a column or a literal.
+type Comparison struct {
+	Left  ColRef
+	Op    CmpOp
+	Right Operand
+}
+
+// OrGroup is a parenthesized disjunction of predicates.
+type OrGroup struct {
+	Terms []Predicate
+}
+
+// Operand is the right-hand side of a comparison.
+type Operand struct {
+	IsCol bool
+	Col   ColRef
+	Lit   Literal
+}
+
+// ColOperand wraps a column reference as an operand.
+func ColOperand(c ColRef) Operand { return Operand{IsCol: true, Col: c} }
+
+// LitOperand wraps a literal as an operand.
+func LitOperand(l Literal) Operand { return Operand{Lit: l} }
+
+// StringLit builds a string literal.
+func StringLit(s string) Literal { return Literal{Kind: LitString, S: s} }
+
+// IntLit builds an integer literal.
+func IntLit(i int64) Literal { return Literal{Kind: LitInt, I: i} }
+
+// FloatLit builds a float literal.
+func FloatLit(f float64) Literal { return Literal{Kind: LitFloat, F: f} }
+
+func (*CreateTable) stmt() {}
+func (*Insert) stmt()      {}
+func (*Select) stmt()      {}
+
+func (Comparison) pred() {}
+func (OrGroup) pred()    {}

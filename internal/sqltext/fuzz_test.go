@@ -1,0 +1,40 @@
+package sqltext
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics, and that anything it accepts
+// survives a Print/Parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT 1 FROM Item AS t0, PType AS t1 WHERE t0.ptype = t1.id LIMIT 1",
+		"SELECT COUNT(*) FROM t WHERE (a CONTAINS 'x' OR b LIKE '%y%') AND c <= -1.5",
+		"INSERT INTO t VALUES (1, 'a''b', 2.5), (2, 'c', 0.0)",
+		"CREATE TABLE t (id INT PRIMARY KEY, s TEXT, FOREIGN KEY (id) REFERENCES u(v))",
+		"SELECT",
+		"'unterminated",
+		"SELECT * FROM t WHERE a = ",
+		";;;",
+		"select lower case keywords from t",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := Print(stmt)
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", printed, src, err)
+		}
+		if !reflect.DeepEqual(stmt, again) {
+			t.Fatalf("round trip changed AST:\nsrc:   %q\nprint: %q", src, printed)
+		}
+	})
+}

@@ -1,0 +1,478 @@
+package sqltext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kwsdbg/internal/catalog"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement. A trailing semicolon is allowed.
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseScript(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sqltext: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var stmts []Statement
+	for {
+		for p.acceptPunct(";") {
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptPunct(";") && p.peek().Kind != TokEOF {
+			return nil, p.errorf("expected ';' or end of input")
+		}
+	}
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.peek()
+	where := "end of input"
+	if t.Kind != TokEOF {
+		where = fmt.Sprintf("%q at offset %d", t.Text, t.Pos)
+	}
+	return fmt.Errorf("sqltext: %s (near %s)", fmt.Sprintf(format, args...), where)
+}
+
+// acceptKeyword consumes the next token if it is the given keyword.
+func (p *parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == TokIdent && strings.EqualFold(t.Text, kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	t := p.peek()
+	if (t.Kind == TokPunct || t.Kind == TokOp) && t.Text == s {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf("expected %q", s)
+	}
+	return nil
+}
+
+// ident consumes a non-keyword identifier.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent || IsKeyword(t.Text) {
+		return "", p.errorf("expected identifier")
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("CREATE"):
+		return p.createTable()
+	case p.acceptKeyword("INSERT"):
+		return p.insert()
+	case p.acceptKeyword("SELECT"):
+		return p.selectStmt()
+	default:
+		return nil, p.errorf("expected CREATE, INSERT, or SELECT")
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.acceptKeyword("FOREIGN") {
+			fk, err := p.foreignKey()
+			if err != nil {
+				return nil, err
+			}
+			ct.ForeignKeys = append(ct.ForeignKeys, fk)
+		} else {
+			col, err := p.columnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, col)
+		}
+		if p.acceptPunct(",") {
+			continue
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	}
+}
+
+func (p *parser) columnDef() (catalog.Column, error) {
+	name, err := p.ident()
+	if err != nil {
+		return catalog.Column{}, err
+	}
+	var typ catalog.ColType
+	switch {
+	case p.acceptKeyword("INT"):
+		typ = catalog.Int
+	case p.acceptKeyword("TEXT"):
+		typ = catalog.Text
+	case p.acceptKeyword("FLOAT"):
+		typ = catalog.Float
+	default:
+		return catalog.Column{}, p.errorf("expected column type INT, TEXT, or FLOAT")
+	}
+	col := catalog.Column{Name: name, Type: typ}
+	if p.acceptKeyword("PRIMARY") {
+		if err := p.expectKeyword("KEY"); err != nil {
+			return catalog.Column{}, err
+		}
+		col.PrimaryKey = true
+	}
+	return col, nil
+}
+
+func (p *parser) foreignKey() (ForeignKey, error) {
+	var fk ForeignKey
+	if err := p.expectKeyword("KEY"); err != nil {
+		return fk, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return fk, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return fk, err
+	}
+	fk.Column = col
+	if err := p.expectPunct(")"); err != nil {
+		return fk, err
+	}
+	if err := p.expectKeyword("REFERENCES"); err != nil {
+		return fk, err
+	}
+	if fk.RefTable, err = p.ident(); err != nil {
+		return fk, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return fk, err
+	}
+	if fk.RefCol, err = p.ident(); err != nil {
+		return fk, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return fk, err
+	}
+	return fk, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []Literal
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptPunct(",") {
+			return ins, nil
+		}
+	}
+}
+
+func (p *parser) literal() (Literal, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokString:
+		p.advance()
+		return StringLit(t.Text), nil
+	case TokNumber:
+		p.advance()
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return Literal{}, p.errorf("bad float literal %q", t.Text)
+			}
+			return FloatLit(f), nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return Literal{}, p.errorf("bad integer literal %q", t.Text)
+		}
+		return IntLit(i), nil
+	default:
+		return Literal{}, p.errorf("expected literal")
+	}
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	sel := &Select{Limit: -1}
+	proj, err := p.projection()
+	if err != nil {
+		return nil, err
+	}
+	sel.Projection = proj
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		for {
+			pr, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, pr)
+			if !p.acceptKeyword("AND") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, p.errorf("expected LIMIT count")
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) projection() (Projection, error) {
+	if p.acceptPunct("*") {
+		return Projection{Star: true}, nil
+	}
+	if p.acceptKeyword("COUNT") {
+		if err := p.expectPunct("("); err != nil {
+			return Projection{}, err
+		}
+		if err := p.expectPunct("*"); err != nil {
+			return Projection{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return Projection{}, err
+		}
+		return Projection{Count: true}, nil
+	}
+	if t := p.peek(); t.Kind == TokNumber && t.Text == "1" {
+		p.advance()
+		return Projection{One: true}, nil
+	}
+	var cols []ColRef
+	for {
+		c, err := p.colRef()
+		if err != nil {
+			return Projection{}, err
+		}
+		cols = append(cols, c)
+		if !p.acceptPunct(",") {
+			return Projection{Cols: cols}, nil
+		}
+	}
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name, Alias: name}
+	if p.acceptKeyword("AS") {
+		if tr.Alias, err = p.ident(); err != nil {
+			return TableRef{}, err
+		}
+		return tr, nil
+	}
+	// Bare alias: an identifier that is not a keyword.
+	if t := p.peek(); t.Kind == TokIdent && !IsKeyword(t.Text) {
+		p.advance()
+		tr.Alias = t.Text
+	}
+	return tr, nil
+}
+
+func (p *parser) colRef() (ColRef, error) {
+	first, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.acceptPunct(".") {
+		second, err := p.ident()
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+// predicate parses a comparison or a parenthesized OR-group.
+func (p *parser) predicate() (Predicate, error) {
+	if p.acceptPunct("(") {
+		var terms []Predicate
+		for {
+			t, err := p.predicate()
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, t)
+			if p.acceptKeyword("OR") {
+				continue
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if len(terms) == 1 {
+				return terms[0], nil
+			}
+			return OrGroup{Terms: terms}, nil
+		}
+	}
+	left, err := p.colRef()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.cmpOp()
+	if err != nil {
+		return nil, err
+	}
+	// CONTAINS and LIKE require a string literal on the right.
+	if op == OpContains || op == OpLike || op == OpNotLike {
+		t := p.peek()
+		if t.Kind != TokString {
+			return nil, p.errorf("%s requires a string literal", op)
+		}
+		p.advance()
+		return Comparison{Left: left, Op: op, Right: LitOperand(StringLit(t.Text))}, nil
+	}
+	t := p.peek()
+	if t.Kind == TokIdent && !IsKeyword(t.Text) {
+		right, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Left: left, Op: op, Right: ColOperand(right)}, nil
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return Comparison{Left: left, Op: op, Right: LitOperand(lit)}, nil
+}
+
+func (p *parser) cmpOp() (CmpOp, error) {
+	if p.acceptKeyword("NOT") {
+		if err := p.expectKeyword("LIKE"); err != nil {
+			return 0, err
+		}
+		return OpNotLike, nil
+	}
+	if p.acceptKeyword("LIKE") {
+		return OpLike, nil
+	}
+	if p.acceptKeyword("CONTAINS") {
+		return OpContains, nil
+	}
+	t := p.peek()
+	ops := map[string]CmpOp{"=": OpEq, "<>": OpNe, "!=": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe}
+	if op, ok := ops[t.Text]; ok && (t.Kind == TokPunct || t.Kind == TokOp) {
+		p.advance()
+		return op, nil
+	}
+	return 0, p.errorf("expected comparison operator")
+}

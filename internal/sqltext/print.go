@@ -1,0 +1,160 @@
+package sqltext
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Print renders a statement as canonical SQL text. Printing then re-parsing
+// any statement yields an identical AST (property-tested); the lattice uses
+// this to materialize query templates as real SQL strings.
+func Print(s Statement) string {
+	var sb strings.Builder
+	switch st := s.(type) {
+	case *CreateTable:
+		printCreate(&sb, st)
+	case *Insert:
+		printInsert(&sb, st)
+	case *Select:
+		printSelect(&sb, st)
+	default:
+		fmt.Fprintf(&sb, "/* unknown statement %T */", s)
+	}
+	return sb.String()
+}
+
+func printCreate(sb *strings.Builder, ct *CreateTable) {
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(ct.Name)
+	sb.WriteString(" (")
+	for i, c := range ct.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	for _, fk := range ct.ForeignKeys {
+		fmt.Fprintf(sb, ", FOREIGN KEY (%s) REFERENCES %s(%s)", fk.Column, fk.RefTable, fk.RefCol)
+	}
+	sb.WriteByte(')')
+}
+
+func printInsert(sb *strings.Builder, ins *Insert) {
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(ins.Table)
+	sb.WriteString(" VALUES ")
+	for i, row := range ins.Rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('(')
+		for j, lit := range row {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(printLiteral(lit))
+		}
+		sb.WriteByte(')')
+	}
+}
+
+func printSelect(sb *strings.Builder, sel *Select) {
+	sb.WriteString("SELECT ")
+	switch {
+	case sel.Projection.Star:
+		sb.WriteByte('*')
+	case sel.Projection.Count:
+		sb.WriteString("COUNT(*)")
+	case sel.Projection.One:
+		sb.WriteByte('1')
+	default:
+		for i, c := range sel.Projection.Cols {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(printColRef(c))
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, tr := range sel.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(tr.Table)
+		if tr.Alias != tr.Table {
+			sb.WriteString(" AS ")
+			sb.WriteString(tr.Alias)
+		}
+	}
+	if len(sel.Where) > 0 {
+		sb.WriteString(" WHERE ")
+		for i, pr := range sel.Where {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			sb.WriteString(printPredicate(pr, false))
+		}
+	}
+	if sel.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(sel.Limit))
+	}
+}
+
+func printPredicate(p Predicate, nested bool) string {
+	switch pr := p.(type) {
+	case Comparison:
+		rhs := ""
+		if pr.Right.IsCol {
+			rhs = printColRef(pr.Right.Col)
+		} else {
+			rhs = printLiteral(pr.Right.Lit)
+		}
+		return printColRef(pr.Left) + " " + pr.Op.String() + " " + rhs
+	case OrGroup:
+		parts := make([]string, len(pr.Terms))
+		for i, t := range pr.Terms {
+			parts[i] = printPredicate(t, true)
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	default:
+		return fmt.Sprintf("/* unknown predicate %T */", p)
+	}
+}
+
+func printColRef(c ColRef) string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+func printLiteral(l Literal) string {
+	switch l.Kind {
+	case LitInt:
+		return strconv.FormatInt(l.I, 10)
+	case LitFloat:
+		if math.IsInf(l.F, 0) || math.IsNaN(l.F) {
+			return "/* bad literal */" // not representable in the dialect
+		}
+		s := strconv.FormatFloat(l.F, 'g', -1, 64)
+		// Keep the float/int distinction through a print/parse round trip:
+		// integral values like 0.0 format as "0", which would re-parse as
+		// an integer literal.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case LitString:
+		return "'" + strings.ReplaceAll(l.S, "'", "''") + "'"
+	default:
+		return "/* bad literal */"
+	}
+}

@@ -1,0 +1,320 @@
+package sqltext
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kwsdbg/internal/catalog"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT * FROM t WHERE a.b = 'it''s' AND c <= -3.5")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "*", "FROM", "t", "WHERE", "a", ".", "b", "=", "it's", "AND", "c", "<=", "-3.5", ""}
+	if !reflect.DeepEqual(texts, want) {
+		t.Fatalf("texts = %q, want %q", texts, want)
+	}
+	if kinds[len(kinds)-1] != TokEOF {
+		t.Error("missing EOF token")
+	}
+	if kinds[9] != TokString {
+		t.Errorf("token 9 kind = %v, want string", kinds[9])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "a @ b", "a ! b"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse(`CREATE TABLE Item (
+		id INT PRIMARY KEY, name TEXT, ptype INT, cost FLOAT,
+		FOREIGN KEY (ptype) REFERENCES PType(id))`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Name != "Item" || len(ct.Columns) != 4 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != catalog.Int {
+		t.Errorf("id column = %+v", ct.Columns[0])
+	}
+	if ct.Columns[3].Type != catalog.Float {
+		t.Errorf("cost column = %+v", ct.Columns[3])
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0] != (ForeignKey{Column: "ptype", RefTable: "PType", RefCol: "id"}) {
+		t.Errorf("fks = %+v", ct.ForeignKeys)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO t VALUES (1, 'a', 2.5), (-2, 'b''c', 0.0)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ins := stmt.(*Insert)
+	if ins.Table != "t" || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	if ins.Rows[0][0] != IntLit(1) || ins.Rows[0][1] != StringLit("a") || ins.Rows[0][2] != FloatLit(2.5) {
+		t.Errorf("row0 = %+v", ins.Rows[0])
+	}
+	if ins.Rows[1][0] != IntLit(-2) || ins.Rows[1][1] != StringLit("b'c") {
+		t.Errorf("row1 = %+v", ins.Rows[1])
+	}
+}
+
+func TestParseSelectForms(t *testing.T) {
+	tests := []struct {
+		src   string
+		check func(t *testing.T, sel *Select)
+	}{
+		{"SELECT * FROM t", func(t *testing.T, sel *Select) {
+			if !sel.Projection.Star || sel.Limit != -1 || len(sel.From) != 1 {
+				t.Errorf("sel = %+v", sel)
+			}
+		}},
+		{"SELECT COUNT(*) FROM t", func(t *testing.T, sel *Select) {
+			if !sel.Projection.Count {
+				t.Errorf("sel = %+v", sel)
+			}
+		}},
+		{"SELECT 1 FROM t LIMIT 1", func(t *testing.T, sel *Select) {
+			if !sel.Projection.One || sel.Limit != 1 {
+				t.Errorf("sel = %+v", sel)
+			}
+		}},
+		{"SELECT a.x, y FROM t a, u AS b", func(t *testing.T, sel *Select) {
+			wantCols := []ColRef{{Qualifier: "a", Column: "x"}, {Column: "y"}}
+			if !reflect.DeepEqual(sel.Projection.Cols, wantCols) {
+				t.Errorf("cols = %+v", sel.Projection.Cols)
+			}
+			wantFrom := []TableRef{{Table: "t", Alias: "a"}, {Table: "u", Alias: "b"}}
+			if !reflect.DeepEqual(sel.From, wantFrom) {
+				t.Errorf("from = %+v", sel.From)
+			}
+		}},
+		{"SELECT * FROM t WHERE t.a = u.b AND t.c CONTAINS 'kw' AND (t.d LIKE '%x%' OR t.e = 3)",
+			func(t *testing.T, sel *Select) {
+				if len(sel.Where) != 3 {
+					t.Fatalf("where = %+v", sel.Where)
+				}
+				cmp := sel.Where[0].(Comparison)
+				if cmp.Op != OpEq || !cmp.Right.IsCol {
+					t.Errorf("join pred = %+v", cmp)
+				}
+				cmp = sel.Where[1].(Comparison)
+				if cmp.Op != OpContains || cmp.Right.Lit.S != "kw" {
+					t.Errorf("contains pred = %+v", cmp)
+				}
+				og := sel.Where[2].(OrGroup)
+				if len(og.Terms) != 2 {
+					t.Errorf("or group = %+v", og)
+				}
+				if og.Terms[0].(Comparison).Op != OpLike {
+					t.Errorf("or term 0 = %+v", og.Terms[0])
+				}
+			}},
+		{"SELECT * FROM t WHERE a <> 1 AND b != 2 AND c < 3 AND d <= 4 AND e > 5 AND f >= 6 AND g NOT LIKE 'x'",
+			func(t *testing.T, sel *Select) {
+				wantOps := []CmpOp{OpNe, OpNe, OpLt, OpLe, OpGt, OpGe, OpNotLike}
+				for i, pr := range sel.Where {
+					if got := pr.(Comparison).Op; got != wantOps[i] {
+						t.Errorf("op %d = %v, want %v", i, got, wantOps[i])
+					}
+				}
+			}},
+		{"SELECT * FROM t WHERE (a = 1)", func(t *testing.T, sel *Select) {
+			// Single-term parens collapse to the bare comparison.
+			if _, ok := sel.Where[0].(Comparison); !ok {
+				t.Errorf("where = %T", sel.Where[0])
+			}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.src, func(t *testing.T) {
+			stmt, err := Parse(tc.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			tc.check(t, stmt.(*Select))
+		})
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE TABLE t (id INT PRIMARY KEY, s TEXT);
+		INSERT INTO t VALUES (1, 'x');
+		SELECT * FROM t;
+	`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+	if _, err := ParseScript(""); err != nil {
+		t.Errorf("empty script: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",                                   // Parse requires exactly one statement
+		"DROP TABLE t",                       // unsupported verb
+		"SELECT FROM t",                      // missing projection
+		"SELECT * FROM",                      // missing table
+		"SELECT * FROM t WHERE",              // missing predicate
+		"SELECT * FROM t WHERE a LIKE b",     // LIKE needs string literal
+		"SELECT * FROM t WHERE a CONTAINS 3", // CONTAINS needs string literal
+		"SELECT * FROM t LIMIT x",            // bad limit
+		"SELECT * FROM t LIMIT -1",           // bad limit (lexes as number)
+		"CREATE TABLE t (a BLOB)",            // unknown type
+		"CREATE TABLE t (a INT",              // unterminated
+		"INSERT INTO t VALUES 1",             // missing parens
+		"SELECT * FROM t WHERE a ** b",       // bad operator
+		"SELECT * FROM t extra garbage go",   // trailing junk
+		"SELECT * FROM t WHERE (a = 1 OR)",   // dangling OR
+		"SELECT select FROM t",               // keyword as identifier
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestPrintStable(t *testing.T) {
+	tests := []string{
+		"SELECT * FROM t",
+		"SELECT COUNT(*) FROM t AS x, u",
+		"SELECT 1 FROM Item AS t0, PType AS t1 WHERE t0.ptype = t1.id AND (t0.name CONTAINS 'saffron' OR t0.description CONTAINS 'saffron') LIMIT 1",
+		"INSERT INTO t VALUES (1, 'a''b', 2.5)",
+		"CREATE TABLE t (id INT PRIMARY KEY, s TEXT, f FLOAT, FOREIGN KEY (id) REFERENCES u(v))",
+	}
+	for _, src := range tests {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if got := Print(stmt); got != src {
+			t.Errorf("Print = %q, want %q", got, src)
+		}
+	}
+}
+
+// randSelect builds a random Select AST from a bounded grammar.
+func randSelect(r *rand.Rand) *Select {
+	ident := func() string {
+		names := []string{"t", "u", "v", "alpha", "b2"}
+		return names[r.Intn(len(names))]
+	}
+	col := func() ColRef {
+		c := ColRef{Column: ident()}
+		if r.Intn(2) == 0 {
+			c.Qualifier = ident()
+		}
+		return c
+	}
+	var pred func(depth int) Predicate
+	pred = func(depth int) Predicate {
+		if depth < 2 && r.Intn(3) == 0 {
+			n := 2 + r.Intn(2)
+			terms := make([]Predicate, n)
+			for i := range terms {
+				terms[i] = pred(depth + 1)
+			}
+			return OrGroup{Terms: terms}
+		}
+		ops := []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike, OpNotLike, OpContains}
+		op := ops[r.Intn(len(ops))]
+		cmp := Comparison{Left: col(), Op: op}
+		switch {
+		case op == OpLike || op == OpNotLike || op == OpContains:
+			cmp.Right = LitOperand(StringLit("kw'%_" + ident()))
+		case r.Intn(2) == 0:
+			cmp.Right = ColOperand(col())
+		default:
+			switch r.Intn(3) {
+			case 0:
+				cmp.Right = LitOperand(IntLit(int64(r.Intn(100) - 50)))
+			case 1:
+				cmp.Right = LitOperand(FloatLit(float64(r.Intn(100)) + 0.5))
+			default:
+				cmp.Right = LitOperand(StringLit(ident()))
+			}
+		}
+		return cmp
+	}
+	sel := &Select{Limit: -1}
+	switch r.Intn(4) {
+	case 0:
+		sel.Projection.Star = true
+	case 1:
+		sel.Projection.Count = true
+	case 2:
+		sel.Projection.One = true
+	default:
+		for i := 0; i <= r.Intn(3); i++ {
+			sel.Projection.Cols = append(sel.Projection.Cols, col())
+		}
+	}
+	aliases := []string{"a0", "a1", "a2", "a3"}
+	for i := 0; i <= r.Intn(3); i++ {
+		tr := TableRef{Table: ident(), Alias: aliases[i]}
+		if r.Intn(3) == 0 {
+			tr.Alias = tr.Table
+		}
+		sel.From = append(sel.From, tr)
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		sel.Where = append(sel.Where, pred(0))
+	}
+	if r.Intn(2) == 0 {
+		sel.Limit = r.Intn(10)
+	}
+	return sel
+}
+
+// Property: Print then Parse is the identity on ASTs.
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(20150323))
+	for i := 0; i < 500; i++ {
+		want := randSelect(r)
+		src := Print(want)
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("iteration %d: Parse(%q): %v", i, src, err)
+		}
+		if !reflect.DeepEqual(stmt, want) {
+			t.Fatalf("iteration %d: round trip mismatch\nsrc:  %s\ngot:  %#v\nwant: %#v", i, src, stmt, want)
+		}
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	if got := CmpOp(99).String(); got != "?" {
+		t.Errorf("unknown op = %q", got)
+	}
+	if OpNotLike.String() != "NOT LIKE" {
+		t.Errorf("NOT LIKE spelled %q", OpNotLike.String())
+	}
+}

@@ -1,0 +1,170 @@
+// Package sqltext implements the SQL dialect spoken by the embedded engine:
+// lexer, AST, recursive-descent parser, and a printer that renders ASTs back
+// to canonical SQL text.
+//
+// The dialect covers exactly what a KWS-S system generates plus what loading
+// a dataset needs:
+//
+//	CREATE TABLE t (c INT PRIMARY KEY, d TEXT, FOREIGN KEY (d) REFERENCES u(v))
+//	INSERT INTO t VALUES (1, 'x'), (2, 'y')
+//	SELECT * | COUNT(*) | 1 | refs FROM t [AS] a, u b
+//	    [WHERE a.c = b.v AND a.d CONTAINS 'kw' AND (x OR y) AND a.e < 3]
+//	    [LIMIT n]
+//
+// CONTAINS is the token-match predicate keyword search needs (it is what a
+// Lucene-backed system actually evaluates); LIKE provides standard %/_
+// pattern matching for completeness.
+package sqltext
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct // single characters: ( ) , . * =
+	TokOp    // multi-char operators: <= >= != <>
+)
+
+// Token is one lexical token with its position (byte offset) for errors.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+// keywords of the dialect; lookup is case-insensitive.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "INT": true, "TEXT": true,
+	"FLOAT": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"LIKE": true, "CONTAINS": true, "LIMIT": true, "AS": true,
+	"COUNT": true, "NOT": true,
+}
+
+// IsKeyword reports whether an identifier token is a reserved keyword.
+func IsKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+// lexer tokenizes a SQL string.
+type lexer struct {
+	src string
+	pos int
+}
+
+// Lex tokenizes src completely, returning the token stream or a syntax error.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) next() (Token, error) {
+	for lx.pos < len(lx.src) && unicode.IsSpace(rune(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return Token{Kind: TokIdent, Text: lx.src[start:lx.pos], Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+		lx.pos++ // sign or first digit
+		seenDot := false
+		for lx.pos < len(lx.src) {
+			d := lx.src[lx.pos]
+			if d == '.' && !seenDot {
+				seenDot = true
+				lx.pos++
+				continue
+			}
+			if d < '0' || d > '9' {
+				break
+			}
+			lx.pos++
+		}
+		// Scientific notation: [eE][+-]?digits.
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+			p := lx.pos + 1
+			if p < len(lx.src) && (lx.src[p] == '+' || lx.src[p] == '-') {
+				p++
+			}
+			digits := p
+			for p < len(lx.src) && lx.src[p] >= '0' && lx.src[p] <= '9' {
+				p++
+			}
+			if p > digits {
+				lx.pos = p
+			}
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Pos: start}, nil
+	case c == '\'':
+		var sb strings.Builder
+		lx.pos++
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, fmt.Errorf("sqltext: unterminated string literal at offset %d", start)
+			}
+			ch := lx.src[lx.pos]
+			if ch == '\'' {
+				// '' escapes a single quote.
+				if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					lx.pos += 2
+					continue
+				}
+				lx.pos++
+				return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			lx.pos++
+		}
+	case c == '<' || c == '>' || c == '!':
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '=' || (c == '<' && lx.src[lx.pos] == '>')) {
+			lx.pos++
+			return Token{Kind: TokOp, Text: lx.src[start:lx.pos], Pos: start}, nil
+		}
+		if c == '!' {
+			return Token{}, fmt.Errorf("sqltext: unexpected '!' at offset %d", start)
+		}
+		return Token{Kind: TokOp, Text: lx.src[start:lx.pos], Pos: start}, nil
+	case strings.IndexByte("(),.*=;", c) >= 0:
+		lx.pos++
+		return Token{Kind: TokPunct, Text: string(c), Pos: start}, nil
+	default:
+		return Token{}, fmt.Errorf("sqltext: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

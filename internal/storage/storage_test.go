@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"kwsdbg/internal/catalog"
+)
+
+func testSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	return catalog.NewSchemaBuilder().
+		AddRelation(catalog.MustRelation("Item",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "name", Type: catalog.Text},
+			catalog.Column{Name: "ptype", Type: catalog.Int},
+			catalog.Column{Name: "cost", Type: catalog.Float})).
+		AddRelation(catalog.MustRelation("PType",
+			catalog.Column{Name: "id", Type: catalog.Int, PrimaryKey: true},
+			catalog.Column{Name: "kind", Type: catalog.Text})).
+		AddEdge("Item", "ptype", "PType", "id").
+		MustBuild()
+}
+
+func TestValueConstructorsAndEqual(t *testing.T) {
+	if !IntV(3).Equal(IntV(3)) || IntV(3).Equal(IntV(4)) {
+		t.Error("IntV equality broken")
+	}
+	if !TextV("a").Equal(TextV("a")) || TextV("a").Equal(TextV("b")) {
+		t.Error("TextV equality broken")
+	}
+	if !FloatV(1.5).Equal(FloatV(1.5)) || FloatV(1.5).Equal(FloatV(2.5)) {
+		t.Error("FloatV equality broken")
+	}
+	if IntV(0).Equal(TextV("")) {
+		t.Error("cross-kind values compare equal")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{IntV(42), "42"},
+		{FloatV(2.5), "2.5"},
+		{TextV("candle"), "candle"},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestInsertAndScan(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, ok := db.Table("Item")
+	if !ok {
+		t.Fatal("Item table missing")
+	}
+	rows := []Row{
+		{IntV(1), TextV("saffron scented oil"), IntV(1), FloatV(4.99)},
+		{IntV(2), TextV("vanilla scented candle"), IntV(2), FloatV(5.99)},
+	}
+	for i, r := range rows {
+		id, err := tbl.Insert(r)
+		if err != nil {
+			t.Fatalf("Insert(%d): %v", i, err)
+		}
+		if int(id) != i {
+			t.Errorf("Insert(%d) id = %d", i, id)
+		}
+	}
+	if tbl.RowCount() != 2 {
+		t.Fatalf("RowCount = %d, want 2", tbl.RowCount())
+	}
+	var seen int
+	tbl.Scan(func(id RowID, row Row) bool {
+		if !row[0].Equal(rows[id][0]) {
+			t.Errorf("row %d mismatch", id)
+		}
+		seen++
+		return true
+	})
+	if seen != 2 {
+		t.Errorf("scanned %d rows, want 2", seen)
+	}
+	// Early termination.
+	seen = 0
+	tbl.Scan(func(RowID, Row) bool { seen++; return false })
+	if seen != 1 {
+		t.Errorf("early-stop scan visited %d rows, want 1", seen)
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	if _, err := tbl.Insert(Row{IntV(1)}); err == nil || !strings.Contains(err.Error(), "values") {
+		t.Errorf("short row: err = %v", err)
+	}
+	bad := Row{TextV("x"), TextV("n"), IntV(0), FloatV(0)}
+	if _, err := tbl.Insert(bad); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("wrong kind: err = %v", err)
+	}
+	if tbl.RowCount() != 0 {
+		t.Errorf("failed inserts stored rows: RowCount = %d", tbl.RowCount())
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustInsert did not panic")
+		}
+	}()
+	tbl.MustInsert(Row{IntV(1)})
+}
+
+func TestLookupInt(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	for i := 0; i < 10; i++ {
+		tbl.MustInsert(Row{IntV(int64(i)), TextV("x"), IntV(int64(i % 3)), FloatV(0)})
+	}
+	got := tbl.LookupInt(2, 1) // ptype == 1 -> rows 1, 4, 7
+	want := []RowID{1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("LookupInt = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LookupInt = %v, want %v", got, want)
+		}
+	}
+	if got := tbl.LookupInt(2, 99); len(got) != 0 {
+		t.Errorf("LookupInt(missing) = %v", got)
+	}
+	if got := tbl.LookupInt(1, 1); got != nil {
+		t.Errorf("LookupInt on text column = %v, want nil", got)
+	}
+	if got := tbl.LookupInt(-1, 1); got != nil {
+		t.Errorf("LookupInt(-1) = %v, want nil", got)
+	}
+	if got := tbl.LookupInt(99, 1); got != nil {
+		t.Errorf("LookupInt(99) = %v, want nil", got)
+	}
+}
+
+func TestLookupIntMaintainedAcrossInsert(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	tbl.MustInsert(Row{IntV(1), TextV("a"), IntV(7), FloatV(0)})
+	// Force index build, then insert more rows and re-probe.
+	if got := tbl.LookupInt(2, 7); len(got) != 1 {
+		t.Fatalf("initial LookupInt = %v", got)
+	}
+	tbl.MustInsert(Row{IntV(2), TextV("b"), IntV(7), FloatV(0)})
+	tbl.MustInsert(Row{IntV(3), TextV("c"), IntV(8), FloatV(0)})
+	if got := tbl.LookupInt(2, 7); len(got) != 2 || got[1] != 1 {
+		t.Fatalf("post-insert LookupInt = %v, want [0 1]", got)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	tbl.MustInsert(Row{IntV(1), TextV("red candle"), IntV(5), FloatV(1)})
+	if got := tbl.LookupInt(2, 5); len(got) != 1 {
+		t.Fatalf("pre-update LookupInt = %v", got)
+	}
+	if err := tbl.Update(0, Row{IntV(1), TextV("blue candle"), IntV(6), FloatV(1)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if got := tbl.Row(0)[1].S; got != "blue candle" {
+		t.Errorf("updated row text = %q", got)
+	}
+	if got := tbl.LookupInt(2, 5); len(got) != 0 {
+		t.Errorf("stale index after update: %v", got)
+	}
+	if got := tbl.LookupInt(2, 6); len(got) != 1 {
+		t.Errorf("rebuilt index missing row: %v", got)
+	}
+	if err := tbl.Update(99, Row{}); err == nil {
+		t.Error("Update(99) succeeded")
+	}
+	if err := tbl.Update(0, Row{IntV(1)}); err == nil {
+		t.Error("Update with short row succeeded")
+	}
+	if err := tbl.Update(0, Row{TextV(""), TextV(""), IntV(0), FloatV(0)}); err == nil {
+		t.Error("Update with wrong kinds succeeded")
+	}
+}
+
+func TestDatabaseTotals(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	itm, _ := db.Table("Item")
+	pt, _ := db.Table("PType")
+	itm.MustInsert(Row{IntV(1), TextV("a"), IntV(1), FloatV(0)})
+	pt.MustInsert(Row{IntV(1), TextV("candle")})
+	pt.MustInsert(Row{IntV(2), TextV("oil")})
+	if got := db.TotalRows(); got != 3 {
+		t.Errorf("TotalRows = %d, want 3", got)
+	}
+	if _, ok := db.Table("missing"); ok {
+		t.Error("Table(missing) unexpectedly found")
+	}
+	if db.Schema() == nil {
+		t.Error("Schema() returned nil")
+	}
+}
+
+// Property: LookupInt agrees with a full scan for arbitrary data.
+func TestLookupIntMatchesScanProperty(t *testing.T) {
+	schema := testSchema(t)
+	f := func(vals []int8) bool {
+		db := NewDatabase(schema)
+		tbl, _ := db.Table("Item")
+		for i, v := range vals {
+			tbl.MustInsert(Row{IntV(int64(i)), TextV("t"), IntV(int64(v % 4)), FloatV(0)})
+		}
+		for probe := int64(-1); probe <= 4; probe++ {
+			got := tbl.LookupInt(2, probe)
+			var want []RowID
+			tbl.Scan(func(id RowID, row Row) bool {
+				if row[2].I == probe {
+					want = append(want, id)
+				}
+				return true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentLookupIntColdIndex(t *testing.T) {
+	db := NewDatabase(testSchema(t))
+	tbl, _ := db.Table("Item")
+	for i := 0; i < 500; i++ {
+		tbl.MustInsert(Row{IntV(int64(i)), TextV("x"), IntV(int64(i % 7)), FloatV(0)})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for probe := int64(0); probe < 7; probe++ {
+				ids := tbl.LookupInt(2, probe)
+				for _, id := range ids {
+					if tbl.Row(id)[2].I != probe {
+						t.Errorf("goroutine %d: wrong row for probe %d", g, probe)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race verify experiments
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The observability layer, the server middleware, and the core pipeline are
+# the concurrency-sensitive packages; run them under the race detector.
+race:
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine
+
+verify: build vet test race
+
+experiments:
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3

@@ -119,6 +119,9 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir st
 			}
 			return bench.AblationCopies(env, l)
 		}},
+		// Last, so the snapshot reflects every experiment above; its probe
+		// counters must agree with the per-figure SQL counts.
+		step{"metrics", func() (*bench.Table, error) { return bench.MetricsTable(), nil }},
 	)
 
 	for _, s := range steps {

@@ -3,14 +3,27 @@
 //
 //	kwsdbgd -dataset dblife -scale 0.02 -maxjoins 4 -addr :8080
 //	curl 'localhost:8080/search?q=Widom+Trio&k=5'
-//	curl 'localhost:8080/debug?q=DeRose+VLDB&strategy=SBH'
+//	curl 'localhost:8080/debug?q=DeRose+VLDB&strategy=SBH&trace=1'
+//	curl 'localhost:8080/metrics'
+//
+// With -debug-addr a second listener exposes net/http/pprof under
+// /debug/pprof/, expvar under /debug/vars, and a /metrics mirror, kept off
+// the public address. SIGINT/SIGTERM trigger a graceful shutdown that drains
+// in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kwsdbg/internal/core"
@@ -18,6 +31,7 @@ import (
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/figure2"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/obs"
 	"kwsdbg/internal/server"
 )
 
@@ -28,26 +42,111 @@ func main() {
 	maxJoins := flag.Int("maxjoins", 2, "lattice join bound")
 	slots := flag.Int("slots", 3, "maximum keywords per query")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address for pprof/expvar/metrics (disabled when empty)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request probing budget")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
-	eng, err := loadDataset(*dataset, *scale, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
+
+	if err := run(logger, *dataset, *scale, *seed, *maxJoins, *slots, *addr, *debugAddr, *timeout); err != nil {
+		logger.Error("fatal", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
-	sys, err := core.Build(eng, lattice.Options{MaxJoins: *maxJoins, KeywordSlots: *slots})
+}
+
+func run(logger *slog.Logger, dataset string, scale float64, seed int64, maxJoins, slots int, addr, debugAddr string, timeout time.Duration) error {
+	eng, err := loadDataset(dataset, scale, seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
-		os.Exit(1)
+		return err
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: maxJoins, KeywordSlots: slots})
+	if err != nil {
+		return err
 	}
 	srv := server.New(sys)
-	srv.Timeout = *timeout
-	fmt.Fprintf(os.Stderr, "kwsdbgd: %d tuples, %d lattice nodes, serving on %s\n",
-		eng.Database().TotalRows(), sys.Lattice().Len(), *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintln(os.Stderr, "kwsdbgd:", err)
-		os.Exit(1)
+	srv.Timeout = timeout
+	srv.Logger = logger
+
+	// Expose the serving system's shape through expvar alongside the
+	// runtime's memstats, for the /debug/vars listener.
+	expvar.Publish("kwsdbg", expvar.Func(func() any {
+		return map[string]any{
+			"dataset":       dataset,
+			"lattice_nodes": sys.Lattice().Len(),
+			"levels":        sys.Lattice().Levels(),
+			"tuples":        eng.Database().TotalRows(),
+		}
+	}))
+
+	// Write timeout leaves headroom over the probing budget so a slow
+	// traversal is cancelled by the request context, not cut off mid-body.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadTimeout:       10 * time.Second,
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      timeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if debugAddr != "" {
+		go serveDebug(logger, debugAddr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logger.Info("serving",
+		slog.String("addr", addr),
+		slog.String("dataset", dataset),
+		slog.Int("tuples", eng.Database().TotalRows()),
+		slog.Int("lattice_nodes", sys.Lattice().Len()))
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process immediately
+	logger.Info("shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), timeout+5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Info("bye")
+	return nil
+}
+
+// serveDebug runs the operator-only listener: pprof, expvar, and a metrics
+// mirror. Failures are logged, not fatal — the main service keeps running.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", obs.Default.Handler())
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	logger.Info("debug listener", slog.String("addr", addr))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("debug listener failed", slog.String("error", err.Error()))
 	}
 }
 

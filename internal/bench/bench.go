@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"text/tabwriter"
@@ -16,6 +17,7 @@ import (
 	"kwsdbg/internal/dblife"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/obs"
 )
 
 // Table is one rendered experiment artifact.
@@ -130,3 +132,24 @@ func (e *Env) obtainLattice(maxJoins int) (*lattice.Lattice, error) {
 }
 
 func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// MetricsTable snapshots the process-wide obs registry as a rendered table.
+// The experiment harness prints it last, so the probe counts accumulated in
+// kwsdbg_probe_total can be cross-checked against the per-figure tables —
+// the same numbers a scrape of GET /metrics would report.
+func MetricsTable() *Table {
+	t := &Table{
+		ID:      "metrics",
+		Title:   "process metrics snapshot (as GET /metrics would report)",
+		Columns: []string{"metric", "value"},
+		Notes:   "histograms appear as their _count and _sum; counters accumulate across every experiment above",
+	}
+	for _, s := range obs.Default.Samples() {
+		name := s.Name
+		if s.Labels != "" {
+			name += "{" + s.Labels + "}"
+		}
+		t.Rows = append(t.Rows, []string{name, strconv.FormatFloat(s.Value, 'g', -1, 64)})
+	}
+	return t
+}

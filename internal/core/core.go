@@ -16,9 +16,16 @@ import (
 
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/obs"
 	"kwsdbg/internal/sqldriver"
 	"kwsdbg/internal/storage"
 )
+
+// durMillis renders a duration as fractional milliseconds for span
+// attributes, matching the report package's JSON convention.
+func durMillis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
 
 // Strategy selects the Phase 3 lattice traversal.
 type Strategy int
@@ -186,19 +193,30 @@ func (sys *System) DebugContext(ctx context.Context, keywords []string, opts Opt
 
 // debugWith is the shared pipeline behind Debug and Session.Run; sess, when
 // non-nil, layers the session's pins and memo over both the SQL oracle and
-// the base-level classification rule.
-func (sys *System) debugWith(ctx context.Context, keywords []string, opts Options, sess *Session) (*Output, error) {
+// the base-level classification rule. It reports into the obs layer: one
+// span per phase when the context carries a trace, and the probe/inference
+// counters always.
+func (sys *System) debugWith(ctx context.Context, keywords []string, opts Options, sess *Session) (out *Output, err error) {
+	defer func() {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		mDebugTotal.With(opts.Strategy.String(), status).Inc()
+	}()
 	if opts.Pa == 0 {
 		opts.Pa = 0.5
 	}
 	if opts.Pa < 0 || opts.Pa >= 1 {
 		return nil, fmt.Errorf("core: pa must be in [0, 1), got %v", opts.Pa)
 	}
+	_, sp12 := obs.StartSpan(ctx, "phase12")
 	ph, err := sys.phase12(keywords)
 	if err != nil {
+		sp12.End()
 		return nil, err
 	}
-	out := &Output{Keywords: keywords, NonKeywords: ph.nonKeywords, Stats: ph.stats}
+	out = &Output{Keywords: keywords, NonKeywords: ph.nonKeywords, Stats: ph.stats}
 	out.Stats.Strategy = opts.Strategy
 	mtnIDs := ph.mtnIDs
 	if opts.Filter != nil {
@@ -211,6 +229,17 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		mtnIDs = kept
 		out.Stats.MTNs = len(mtnIDs)
 	}
+	sp12.SetAttr("lattice_nodes", ph.stats.LatticeNodes)
+	sp12.SetAttr("pruned_nodes", ph.stats.PrunedNodes)
+	sp12.SetAttr("mtns", out.Stats.MTNs)
+	sp12.SetAttr("map_ms", durMillis(ph.stats.MapTime))
+	sp12.SetAttr("prune_ms", durMillis(ph.stats.PruneTime))
+	sp12.SetAttr("mtn_ms", durMillis(ph.stats.MTNTime))
+	if len(ph.nonKeywords) > 0 {
+		sp12.SetAttr("non_keywords", ph.nonKeywords)
+	}
+	sp12.End()
+	mMTNs.Observe(float64(out.Stats.MTNs))
 	if len(ph.nonKeywords) > 0 || len(mtnIDs) == 0 {
 		return out, nil
 	}
@@ -218,6 +247,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	sub := buildSublattice(sys.lat, mtnIDs)
 	out.Stats.SubNodes = sub.len()
 	out.Stats.DescTotal, out.Stats.DescUnique = sub.descendantStats()
+	mReusePercent.Set(out.Stats.ReusePercent())
 
 	sqlOr := newSQLOracle(ctx, sys.lat, sys.db, keywords)
 	var oracle Oracle = sqlOr
@@ -226,15 +256,28 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		oracle = &sessionOracle{inner: sqlOr, s: sess}
 		sd.pins = sess.pinned
 	}
+	_, sp3 := obs.StartSpan(ctx, "phase3")
 	start := time.Now()
 	res, inferred, err := sys.traverse(sub, oracle, sd, opts)
 	if err != nil {
+		sp3.End()
 		return nil, err
 	}
 	out.Stats.TraverseTime = time.Since(start)
 	out.Stats.SQLExecuted = sqlOr.Stats().Executed
 	out.Stats.SQLTime = sqlOr.Stats().SQLTime
 	out.Stats.Inferred = inferred
+	strat := opts.Strategy.String()
+	mPhaseSeconds.With("traverse").Observe(out.Stats.TraverseTime.Seconds())
+	mProbes.With(strat).Add(float64(out.Stats.SQLExecuted))
+	mInferred.With(strat).Add(float64(out.Stats.Inferred))
+	sp3.SetAttr("strategy", strat)
+	sp3.SetAttr("probes", out.Stats.SQLExecuted)
+	sp3.SetAttr("inferred", out.Stats.Inferred)
+	sp3.SetAttr("sql_ms", durMillis(out.Stats.SQLTime))
+	sp3.SetAttr("sub_nodes", out.Stats.SubNodes)
+	sp3.SetAttr("reuse_percent", out.Stats.ReusePercent())
+	sp3.End()
 
 	out.Stats.MPANLevels = make(map[int]int)
 	for _, m := range res.aliveMTNs {
@@ -329,6 +372,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 		ph.bindings = append(ph.bindings, set)
 	}
 	ph.stats.MapTime = time.Since(start)
+	mPhaseSeconds.With("map").Observe(ph.stats.MapTime.Seconds())
 	if len(ph.nonKeywords) > 0 {
 		// "And" semantics: a keyword absent from the data means the whole
 		// query has no answers; report the missing keywords and stop.
@@ -356,6 +400,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 	}
 	ph.stats.PruneTime = time.Since(start)
 	ph.stats.PrunedNodes = len(ph.surviving)
+	mPhaseSeconds.With("prune").Observe(ph.stats.PruneTime.Seconds())
 
 	// Phase 2: minimal total nodes. A surviving node is total when every
 	// keyword index occurs among its copies; it is minimal when no
@@ -382,6 +427,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 	}
 	ph.stats.MTNTime = time.Since(start)
 	ph.stats.MTNs = len(ph.mtnIDs)
+	mPhaseSeconds.With("mtn").Observe(ph.stats.MTNTime.Seconds())
 	sort.Ints(ph.mtnIDs)
 	return ph, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 	"unicode"
 	"unicode/utf8"
 
@@ -213,6 +214,9 @@ type boundQuery struct {
 	residual []rpred
 	// projCols is the resolved explicit projection, if any.
 	projCols []colLoc
+	// scanned counts candidate rows visited during enumeration, for the
+	// rows-scanned metric. Single-goroutine per Select, so no atomics.
+	scanned int
 }
 
 func (e *Engine) resolve(sel *sqltext.Select) (*boundQuery, error) {
@@ -502,6 +506,7 @@ func (e *Engine) indexable(bq *boundQuery, ix *invidx.Index, a int, p rpred) ([]
 
 // Select executes a resolved SELECT statement.
 func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
+	start := time.Now()
 	bq, err := e.resolve(sel)
 	if err != nil {
 		return nil, err
@@ -531,6 +536,9 @@ func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
 	if sel.Projection.Count {
 		res.Rows = append(res.Rows, []storage.Value{storage.IntV(count)})
 	}
+	mSQLExec.Inc()
+	mSQLSeconds.Observe(time.Since(start).Seconds())
+	mRowsScanned.Add(float64(bq.scanned))
 	return res, nil
 }
 
@@ -609,6 +617,7 @@ func (e *Engine) enumerate(bq *boundQuery, plans []aliasPlan, order []int, depth
 	}
 
 	try := func(id storage.RowID) bool {
+		bq.scanned++
 		row := tbl.Row(id)
 		env[a] = row
 		defer func() { env[a] = nil }()

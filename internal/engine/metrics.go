@@ -1,0 +1,17 @@
+package engine
+
+import "kwsdbg/internal/obs"
+
+// Execution metrics. Every probe the debugger issues bottoms out in Select,
+// so kwsdbg_sql_exec_total is the engine-side mirror of the traversal
+// strategies' probe accounting, and rows_scanned is the work each probe
+// actually did (candidate rows visited by the index-nested-loop enumerator,
+// including join-probe mismatches).
+var (
+	mSQLExec = obs.Default.Counter("kwsdbg_sql_exec_total",
+		"SELECT statements executed by the engine.")
+	mSQLSeconds = obs.Default.Histogram("kwsdbg_sql_seconds",
+		"SELECT execution latency.", nil)
+	mRowsScanned = obs.Default.Counter("kwsdbg_sql_rows_scanned_total",
+		"Candidate rows visited while enumerating join bindings.")
+)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 	"unicode"
 
 	"kwsdbg/internal/storage"
@@ -61,6 +62,7 @@ type Index struct {
 // after mutating the data (the debugging workflow of the paper's introduction
 // updates synonym lists); indexes are cheap relative to the data load.
 func Build(db *storage.Database) *Index {
+	buildStart := time.Now()
 	ix := &Index{
 		tables:       make(map[string]*tablePostings),
 		tablesByTerm: make(map[string][]string),
@@ -103,6 +105,9 @@ func Build(db *storage.Database) *Index {
 	for tok := range ix.tablesByTerm {
 		sort.Strings(ix.tablesByTerm[tok])
 	}
+	mBuilds.Inc()
+	mBuildSeconds.Set(time.Since(buildStart).Seconds())
+	mTerms.Set(float64(len(ix.tablesByTerm)))
 	return ix
 }
 
@@ -119,6 +124,7 @@ func appendUnique(ids []storage.RowID, id storage.RowID) []storage.RowID {
 // (as a token, in any text column). This is the Phase 1 binding lookup.
 // Multi-token keywords bind to the tables containing every token.
 func (ix *Index) Tables(keyword string) []string {
+	start := time.Now()
 	toks := Tokenize(keyword)
 	if len(toks) == 0 {
 		return nil
@@ -127,6 +133,7 @@ func (ix *Index) Tables(keyword string) []string {
 	for _, tok := range toks[1:] {
 		result = intersectStrings(result, ix.tablesByTerm[tok])
 	}
+	recordLookup("tables", start, len(result) > 0)
 	// Copy: callers may retain the slice.
 	out := make([]string, len(result))
 	copy(out, result)
@@ -182,6 +189,7 @@ func (ix *Index) Rows(table, column, keyword string) []storage.RowID {
 }
 
 func lookup(cp columnPostings, keyword string) []storage.RowID {
+	start := time.Now()
 	toks := Tokenize(keyword)
 	if len(toks) == 0 {
 		return nil
@@ -190,6 +198,7 @@ func lookup(cp columnPostings, keyword string) []storage.RowID {
 	for _, tok := range toks[1:] {
 		result = IntersectRowIDs(result, cp[tok])
 	}
+	recordLookup("rows", start, len(result) > 0)
 	out := make([]storage.RowID, len(result))
 	copy(out, result)
 	return out

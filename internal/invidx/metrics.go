@@ -1,0 +1,34 @@
+package invidx
+
+import (
+	"time"
+
+	"kwsdbg/internal/obs"
+)
+
+// Index hot-path metrics. Lookups are labeled by operation — "tables" is the
+// Phase 1 keyword->relations binding, "rows" backs the CONTAINS predicates of
+// the probe SQL — and by whether the lookup found anything, since a miss on
+// the binding path is exactly the paper's non-keyword case.
+var (
+	mLookups = obs.Default.CounterVec("kwsdbg_invidx_lookup_total",
+		"Inverted-index lookups, by operation and hit/miss.", "op", "result")
+	mLookupSeconds = obs.Default.HistogramVec("kwsdbg_invidx_lookup_seconds",
+		"Inverted-index lookup latency by operation.", nil, "op")
+	mBuilds = obs.Default.Counter("kwsdbg_invidx_builds_total",
+		"Inverted-index (re)builds.")
+	mBuildSeconds = obs.Default.Gauge("kwsdbg_invidx_build_seconds",
+		"Wall time of the last index build.")
+	mTerms = obs.Default.Gauge("kwsdbg_invidx_terms",
+		"Distinct terms in the last built index.")
+)
+
+// recordLookup accounts one lookup; hit reports whether it returned postings.
+func recordLookup(op string, start time.Time, hit bool) {
+	result := "miss"
+	if hit {
+		result = "hit"
+	}
+	mLookups.With(op, result).Inc()
+	mLookupSeconds.With(op).Observe(time.Since(start).Seconds())
+}

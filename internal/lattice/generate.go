@@ -123,6 +123,7 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 		lb:      newLabeler(schema, opts.KeywordSlots),
 		byLabel: make(map[string]int),
 	}
+	buildStart := time.Now()
 
 	// Base level: single-vertex nodes. Copy 0 is the free tuple set R0 the
 	// paper maintains in addition to the keyword copies R1..Rm+1.
@@ -198,6 +199,7 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 
 	l.link(workers)
 	l.sortLevels()
+	l.record("generate", time.Since(buildStart))
 	return l, nil
 }
 

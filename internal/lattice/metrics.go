@@ -1,0 +1,30 @@
+package lattice
+
+import (
+	"time"
+
+	"kwsdbg/internal/obs"
+)
+
+// Phase 0 gauges. A process usually holds one lattice (the server) but may
+// build several (the experiment harness); the gauges describe the most
+// recently generated or loaded one, which is what a scrape of a serving
+// process should see.
+var (
+	mNodes = obs.Default.Gauge("kwsdbg_lattice_nodes",
+		"Nodes in the most recently built or loaded lattice.")
+	mLevels = obs.Default.Gauge("kwsdbg_lattice_levels",
+		"Levels (max joins + 1) in the most recently built or loaded lattice.")
+	mBuildSeconds = obs.Default.Gauge("kwsdbg_lattice_build_seconds",
+		"Wall time of the last lattice generation or load (Phase 0).")
+	mBuilds = obs.Default.CounterVec("kwsdbg_lattice_builds_total",
+		"Lattices constructed, by source.", "source")
+)
+
+// record publishes the gauges for a freshly constructed lattice.
+func (l *Lattice) record(source string, elapsed time.Duration) {
+	mNodes.Set(float64(l.Len()))
+	mLevels.Set(float64(l.Levels()))
+	mBuildSeconds.Set(elapsed.Seconds())
+	mBuilds.With(source).Inc()
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one timed region of a request, with attributes and child spans.
+// A nil *Span is a valid no-op receiver for every method, so instrumented
+// code pays (almost) nothing when tracing is off: StartSpan on a context
+// without a trace returns nil.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    map[string]any
+	children []*Span
+}
+
+type spanKey struct{}
+
+// StartTrace roots a new span tree at the context and returns the root span.
+// The caller owns the root: End it when the request finishes, then serialize
+// it (it marshals to JSON as a nested span tree).
+func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFromContext returns the innermost span, or nil when the request is not
+// being traced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span. When the context
+// carries no trace it returns the context unchanged and a nil span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// End fixes the span's duration. Ending twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a key/value attribute to the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the attribute value, or nil when absent (or the span is nil).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Name returns the span's name; "" for a nil span.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the span's duration; for a still-open span, the time
+// elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dur == 0 {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Find returns the first span named name in a pre-order walk of the subtree,
+// or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name() == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// spanJSON is the wire shape of a span.
+type spanJSON struct {
+	Name       string         `json:"name"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*Span        `json:"children,omitempty"`
+}
+
+// MarshalJSON renders the span tree with millisecond durations.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	s.mu.Lock()
+	dur := s.dur
+	if dur == 0 {
+		dur = time.Since(s.start)
+	}
+	attrs := make(map[string]any, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	name := s.name
+	s.mu.Unlock()
+	return json.Marshal(spanJSON{
+		Name:       name,
+		DurationMS: float64(dur.Microseconds()) / 1000,
+		Attrs:      attrs,
+		Children:   children,
+	})
+}

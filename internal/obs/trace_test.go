@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceTree(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "debug")
+	c1, s1 := StartSpan(ctx, "phase12")
+	_, s11 := StartSpan(c1, "map")
+	s11.End()
+	s1.SetAttr("mtns", 4)
+	s1.End()
+	_, s2 := StartSpan(ctx, "phase3")
+	s2.SetAttr("probes", 17)
+	s2.End()
+	root.End()
+
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "phase12" || kids[1].Name() != "phase3" {
+		t.Fatalf("children = %v", kids)
+	}
+	if got := root.Find("map"); got == nil || got.Name() != "map" {
+		t.Errorf("Find(map) = %v", got)
+	}
+	if got := root.Find("phase3").Attr("probes"); got != 17 {
+		t.Errorf("probes attr = %v, want 17", got)
+	}
+	if root.Duration() <= 0 {
+		t.Error("root duration must be positive after End")
+	}
+}
+
+func TestNilSpanIsNoop(t *testing.T) {
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatal("StartSpan without a trace must return a nil span")
+	}
+	// All methods must be nil-safe.
+	s.End()
+	s.SetAttr("k", "v")
+	if s.Attr("k") != nil || s.Name() != "" || s.Duration() != 0 || s.Children() != nil || s.Find("x") != nil {
+		t.Error("nil span accessors must return zero values")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Error("context must stay trace-free")
+	}
+	b, err := json.Marshal(s)
+	if err != nil || string(b) != "null" {
+		t.Errorf("nil span JSON = %s, %v", b, err)
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	ctx, root := StartTrace(context.Background(), "debug")
+	_, s := StartSpan(ctx, "phase3")
+	s.SetAttr("probes", 5)
+	s.End()
+	root.End()
+
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Name       string  `json:"name"`
+		DurationMS float64 `json:"duration_ms"`
+		Children   []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("invalid span JSON: %v\n%s", err, b)
+	}
+	if got.Name != "debug" || got.DurationMS < 0 {
+		t.Errorf("root = %+v", got)
+	}
+	if len(got.Children) != 1 || got.Children[0].Name != "phase3" {
+		t.Fatalf("children = %+v", got.Children)
+	}
+	if got.Children[0].Attrs["probes"].(float64) != 5 {
+		t.Errorf("attrs = %v", got.Children[0].Attrs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"kwsdbg/internal/core"
+	"kwsdbg/internal/obs"
 )
 
 // Options controls text rendering.
@@ -98,6 +99,9 @@ type jsonOutput struct {
 	Answers     []jsonQuery `json:"answers"`
 	NonAnswers  []jsonDead  `json:"non_answers"`
 	Stats       jsonStats   `json:"stats"`
+	// Trace is the per-request span tree, present when the caller traced the
+	// run (the server's ?trace=1).
+	Trace *obs.Span `json:"trace,omitempty"`
 }
 
 type jsonQuery struct {
@@ -122,8 +126,22 @@ type jsonStats struct {
 	SQLMillis    float64 `json:"sql_ms"`
 }
 
+// JSONOptions controls the machine-readable rendering.
+type JSONOptions struct {
+	// ShowSQL includes each reported query's SQL text.
+	ShowSQL bool
+	// Trace, when non-nil, embeds the request's span tree.
+	Trace *obs.Span
+}
+
 // JSON writes the machine-readable report.
 func JSON(w io.Writer, out *core.Output, showSQL bool) error {
+	return JSONOpts(w, out, JSONOptions{ShowSQL: showSQL})
+}
+
+// JSONOpts is JSON with the full option set.
+func JSONOpts(w io.Writer, out *core.Output, opts JSONOptions) error {
+	showSQL := opts.ShowSQL
 	conv := func(q core.QueryInfo) jsonQuery {
 		jq := jsonQuery{Node: q.NodeID, Level: q.Level, Tree: q.Tree}
 		if showSQL {
@@ -136,6 +154,7 @@ func JSON(w io.Writer, out *core.Output, showSQL bool) error {
 		NonKeywords: out.NonKeywords,
 		Answers:     []jsonQuery{},
 		NonAnswers:  []jsonDead{},
+		Trace:       opts.Trace,
 		Stats: jsonStats{
 			Strategy:     out.Stats.Strategy.String(),
 			LatticeNodes: out.Stats.LatticeNodes,

@@ -5,25 +5,49 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1]
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1]
 //	GET /search?q=red+candle[&k=10]
+//	GET /metrics
 //	GET /healthz
 //
-// All responses are JSON; errors use {"error": "..."} with a 4xx/5xx status.
+// All responses are JSON except /metrics (Prometheus text exposition);
+// errors use {"error": "..."} with a 4xx/5xx status. With trace=1 the /debug
+// response embeds the request's span tree — per-phase wall clock plus the
+// Phase 3 probe accounting — under "trace". Every request is logged
+// structurally through log/slog with a request ID, status, and duration.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kwsdbg/internal/core"
+	"kwsdbg/internal/obs"
 	"kwsdbg/internal/report"
 )
+
+// HTTP-layer metrics. The path label is restricted to the fixed endpoint set
+// (unknown paths collapse to "other") so cardinality stays bounded.
+var (
+	mHTTPRequests = obs.Default.CounterVec("kwsdbg_http_requests_total",
+		"HTTP requests served, by endpoint and status code.", "path", "status")
+	mHTTPSeconds = obs.Default.HistogramVec("kwsdbg_http_request_seconds",
+		"HTTP request latency by endpoint.", nil, "path")
+	mHTTPInFlight = obs.Default.Gauge("kwsdbg_http_in_flight",
+		"Requests currently being served.")
+)
+
+// nextRequestID numbers requests process-wide for log correlation.
+var nextRequestID atomic.Int64
 
 // Server wires a debugger into an http.Handler.
 type Server struct {
@@ -31,6 +55,9 @@ type Server struct {
 	mux *http.ServeMux
 	// Timeout bounds each request's probing work; zero means no bound.
 	Timeout time.Duration
+	// Logger receives one structured line per request plus response-encoding
+	// failures; nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // New builds the handler around a ready system.
@@ -39,11 +66,73 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("/debug", s.handleDebug)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", obs.Default.Handler())
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// statusWriter captures the status code and body size for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// metricPath collapses unknown paths so the path label stays low-cardinality.
+func metricPath(p string) string {
+	switch p {
+	case "/debug", "/search", "/healthz", "/metrics":
+		return p
+	default:
+		return "other"
+	}
+}
+
+// ServeHTTP implements http.Handler: logging and metrics middleware around
+// the endpoint mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("%06d", nextRequestID.Add(1))
+	start := time.Now()
+	mHTTPInFlight.Add(1)
+	defer mHTTPInFlight.Add(-1)
+
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	sw.Header().Set("X-Request-ID", id)
+	s.mux.ServeHTTP(sw, r)
+
+	elapsed := time.Since(start)
+	path := metricPath(r.URL.Path)
+	mHTTPRequests.With(path, strconv.Itoa(sw.status)).Inc()
+	mHTTPSeconds.With(path).Observe(elapsed.Seconds())
+	q := r.URL.Query()
+	s.logger().LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("query", q.Get("q")),
+		slog.String("strategy", q.Get("strategy")),
+		slog.Int("status", sw.status),
+		slog.Float64("duration_ms", float64(elapsed.Microseconds())/1000),
+		slog.Int("bytes", sw.bytes),
+	)
+}
 
 func (s *Server) context(r *http.Request) (context.Context, context.CancelFunc) {
 	if s.Timeout <= 0 {
@@ -52,10 +141,33 @@ func (s *Server) context(r *http.Request) (context.Context, context.CancelFunc) 
 	return context.WithTimeout(r.Context(), s.Timeout)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeJSON marshals v first so a failure becomes a clean 500 instead of a
+// truncated 200, sets Content-Type before any write, and logs (rather than
+// drops) errors writing the response.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := jsonBody(v)
+	if err != nil {
+		s.logger().Error("encode response", slog.String("error", err.Error()))
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	if _, err := w.Write(body); err != nil {
+		s.logger().Warn("write response", slog.String("error", err.Error()))
+	}
+}
+
+func jsonBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // keywords parses the q parameter into keyword fields.
@@ -70,28 +182,38 @@ func keywords(r *http.Request) ([]string, error) {
 func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	kws, err := keywords(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	strat := core.SBH
 	if name := r.URL.Query().Get("strategy"); name != "" {
 		strat, err = parseStrategy(name)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
 	}
 	ctx, cancel := s.context(r)
 	defer cancel()
+	var root *obs.Span
+	if r.URL.Query().Get("trace") == "1" {
+		ctx, root = obs.StartTrace(ctx, "debug")
+	}
 	out, err := s.sys.DebugContext(ctx, kws, core.Options{Strategy: strat})
+	root.End()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	opts := report.JSONOptions{ShowSQL: r.URL.Query().Get("sql") == "1", Trace: root}
+	var buf bytes.Buffer
+	if err := report.JSONOpts(&buf, out, opts); err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	showSQL := r.URL.Query().Get("sql") == "1"
-	if err := report.JSON(w, out, showSQL); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+	if _, err := io.Copy(w, &buf); err != nil {
+		s.logger().Warn("write response", slog.String("error", err.Error()))
 	}
 }
 
@@ -119,20 +241,20 @@ type partialResult struct {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	kws, err := keywords(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		k, err = strconv.Atoi(raw)
 		if err != nil || k <= 0 || k > 1000 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k parameter %q", raw))
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad k parameter %q", raw))
 			return
 		}
 	}
 	results, partials, missing, err := s.sys.SearchPartial(kws, k)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	conv := func(res core.SearchResult) searchResult {
@@ -149,13 +271,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for _, p := range partials {
 		resp.Partials = append(resp.Partials, partialResult{Covered: p.Covered, searchResult: conv(p.SearchResult)})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(resp)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":        "ok",
 		"lattice_nodes": s.sys.Lattice().Len(),
 		"levels":        s.sys.Lattice().Levels(),

@@ -2,6 +2,8 @@ package server
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -23,7 +25,9 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return New(sys)
+	s := New(sys)
+	s.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return s
 }
 
 func get(t *testing.T, s *Server, path string) (*httptest.ResponseRecorder, map[string]any) {
@@ -147,5 +151,101 @@ func TestSearchPartialEndpoint(t *testing.T) {
 	first := partials[0].(map[string]any)
 	if covered := first["covered"].([]any); len(covered) == 0 {
 		t.Errorf("partial without coverage: %v", first)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := testServer(t)
+	// One debug run drives the whole pipeline so every layer's metrics move.
+	rec, _ := get(t, s, "/debug?q=saffron+scented+candle&strategy=BU")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("debug status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	mrec := httptest.NewRecorder()
+	s.ServeHTTP(mrec, req)
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", mrec.Code)
+	}
+	if ct := mrec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := mrec.Body.String()
+	for _, want := range []string{
+		`kwsdbg_probe_total{strategy="BU"}`,
+		"kwsdbg_phase_seconds_bucket",
+		"kwsdbg_lattice_nodes",
+		"kwsdbg_lattice_build_seconds",
+		"kwsdbg_sql_exec_total",
+		"kwsdbg_invidx_lookup_total",
+		`kwsdbg_http_requests_total{path="/debug",status="200"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// The probe counter must be non-zero after a real debug run.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, `kwsdbg_probe_total{strategy="BU"}`) {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("probe counter still zero: %s", line)
+			}
+		}
+	}
+}
+
+func TestDebugTrace(t *testing.T) {
+	s := testServer(t)
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle&strategy=TD&trace=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	trace, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no trace in response: %v", body)
+	}
+	if trace["name"] != "debug" {
+		t.Errorf("root span = %v", trace["name"])
+	}
+	children, _ := trace["children"].([]any)
+	var phase3 map[string]any
+	names := []string{}
+	for _, c := range children {
+		span := c.(map[string]any)
+		names = append(names, span["name"].(string))
+		if span["name"] == "phase3" {
+			phase3 = span
+		}
+	}
+	if len(names) != 2 || names[0] != "phase12" || names[1] != "phase3" {
+		t.Fatalf("span children = %v", names)
+	}
+	// The trace's probe accounting must agree with the Stats the core computes.
+	attrs := phase3["attrs"].(map[string]any)
+	stats := body["stats"].(map[string]any)
+	if attrs["probes"] != stats["sql_executed"] {
+		t.Errorf("trace probes = %v, stats sql_executed = %v", attrs["probes"], stats["sql_executed"])
+	}
+	if attrs["strategy"] != "TD" {
+		t.Errorf("trace strategy = %v", attrs["strategy"])
+	}
+	if attrs["inferred"] != stats["inferred"] {
+		t.Errorf("trace inferred = %v, stats inferred = %v", attrs["inferred"], stats["inferred"])
+	}
+	// Without trace=1 the field is absent.
+	_, body = get(t, s, "/debug?q=saffron+scented+candle")
+	if _, present := body["trace"]; present {
+		t.Error("trace present without trace=1")
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	s := testServer(t)
+	rec, _ := get(t, s, "/healthz")
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Error("missing X-Request-ID header")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
 	}
 }

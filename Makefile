@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify experiments
+.PHONY: all build vet test race verify experiments bench
 
 all: verify
 
@@ -13,12 +13,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# The observability layer, the server middleware, and the core pipeline are
-# the concurrency-sensitive packages; run them under the race detector.
+# The observability layer, the server middleware, the core pipeline, the
+# engine, and the probe cache are the concurrency-sensitive packages; run
+# them under the race detector.
 race:
-	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache
 
 verify: build vet test race
 
 experiments:
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3
+
+# Probe scheduler + cache sweep: renders the table to stdout and writes the
+# machine-readable report (ns/op, probes/op, speedup, warm-cache hit rate at
+# workers=1,2,4,8) to BENCH_probe.json.
+bench:
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe -probe-json BENCH_probe.json

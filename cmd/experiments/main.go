@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,16 +29,17 @@ func main() {
 	maxLevel := flag.Int("maxlevel", 5, "deepest lattice level to evaluate (paper uses up to 7)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	cacheDir := flag.String("cachedir", "", "directory for persisted lattices (skips regeneration on reruns)")
+	probeJSON := flag.String("probe-json", "", "path where the 'probe' step writes its JSON report")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *verbose); err != nil {
+	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir string, verbose bool) error {
+func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON string, verbose bool) error {
 	if maxLevel < 3 {
 		return fmt.Errorf("-maxlevel must be >= 3")
 	}
@@ -104,6 +106,22 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir st
 		steps = append(steps, step{"fig15", func() (*bench.Table, error) { return bench.Alternatives(env, 7) }})
 	}
 	steps = append(steps,
+		step{"probe", func() (*bench.Table, error) {
+			t, rep, err := bench.ProbeSweep(env, mid, []int{1, 2, 4, 8}, 3)
+			if err != nil {
+				return nil, err
+			}
+			if probeJSON != "" {
+				body, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(probeJSON, append(body, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}},
 		step{"rn-coverage", func() (*bench.Table, error) { return bench.RNCoverage(env, mid) }},
 		step{"online-cn", func() (*bench.Table, error) { return bench.OnlineCN(env, mid) }},
 		step{"ablation-pa", func() (*bench.Table, error) {

@@ -32,6 +32,7 @@ import (
 	"kwsdbg/internal/figure2"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/probecache"
 	"kwsdbg/internal/server"
 )
 
@@ -44,6 +45,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address for pprof/expvar/metrics (disabled when empty)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request probing budget")
+	workers := flag.Int("workers", 1, "default probe concurrency per /debug request (1 = serial; requests override with ?workers=)")
+	cacheSize := flag.Int("probe-cache-size", probecache.DefaultMaxEntries, "cross-request probe cache entries (0 disables the cache, negative = unbounded)")
+	cacheTTL := flag.Duration("probe-cache-ttl", 0, "probe cache entry lifetime (0 = no TTL)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -54,34 +58,67 @@ func main() {
 	logger := slog.New(handler)
 	slog.SetDefault(logger)
 
-	if err := run(logger, *dataset, *scale, *seed, *maxJoins, *slots, *addr, *debugAddr, *timeout); err != nil {
+	cfg := serveConfig{
+		dataset: *dataset, scale: *scale, seed: *seed,
+		maxJoins: *maxJoins, slots: *slots,
+		addr: *addr, debugAddr: *debugAddr,
+		timeout: *timeout, workers: *workers,
+		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
+	}
+	if err := run(logger, cfg); err != nil {
 		logger.Error("fatal", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, dataset string, scale float64, seed int64, maxJoins, slots int, addr, debugAddr string, timeout time.Duration) error {
-	eng, err := loadDataset(dataset, scale, seed)
+type serveConfig struct {
+	dataset         string
+	scale           float64
+	seed            int64
+	maxJoins, slots int
+	addr, debugAddr string
+	timeout         time.Duration
+	workers         int
+	cacheSize       int
+	cacheTTL        time.Duration
+}
+
+func run(logger *slog.Logger, cfg serveConfig) error {
+	dataset, addr, debugAddr, timeout := cfg.dataset, cfg.addr, cfg.debugAddr, cfg.timeout
+	eng, err := loadDataset(dataset, cfg.scale, cfg.seed)
 	if err != nil {
 		return err
 	}
-	sys, err := core.Build(eng, lattice.Options{MaxJoins: maxJoins, KeywordSlots: slots})
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: cfg.maxJoins, KeywordSlots: cfg.slots})
 	if err != nil {
 		return err
+	}
+	if cfg.cacheSize != 0 {
+		sys.SetProbeCache(probecache.New(probecache.Config{MaxEntries: cfg.cacheSize, TTL: cfg.cacheTTL}))
 	}
 	srv := server.New(sys)
 	srv.Timeout = timeout
+	srv.Workers = cfg.workers
 	srv.Logger = logger
 
 	// Expose the serving system's shape through expvar alongside the
 	// runtime's memstats, for the /debug/vars listener.
 	expvar.Publish("kwsdbg", expvar.Func(func() any {
-		return map[string]any{
+		v := map[string]any{
 			"dataset":       dataset,
 			"lattice_nodes": sys.Lattice().Len(),
 			"levels":        sys.Lattice().Levels(),
 			"tuples":        eng.Database().TotalRows(),
+			"workers":       cfg.workers,
 		}
+		if c := sys.ProbeCache(); c != nil {
+			st := c.Snapshot()
+			v["probe_cache"] = map[string]any{
+				"entries": st.Entries, "hits": st.Hits,
+				"misses": st.Misses, "evictions": st.Evictions,
+			}
+		}
+		return v
 	}))
 
 	// Write timeout leaves headroom over the probing budget so a slow

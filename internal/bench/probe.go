@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+	"kwsdbg/internal/probecache"
+)
+
+// ProbePoint is one worker count's measurements over the workload: uncached
+// latency and probe volume, plus a warm-cache pass over the same queries.
+type ProbePoint struct {
+	Workers int `json:"workers"`
+	// NsPerOp is the mean wall time of one Debug call with the cache
+	// bypassed; ProbesPerOp the mean probes it spent.
+	NsPerOp     float64 `json:"ns_per_op"`
+	ProbesPerOp float64 `json:"probes_per_op"`
+	// SpeedupVsSerial is NsPerOp(workers=1) / NsPerOp(this); meaningful only
+	// relative to NumCPU — on a single-core host it hovers around 1.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// WarmNsPerOp is the mean Debug latency when every verdict is already in
+	// the probe cache; WarmHitRate the fraction of probes the cache answered
+	// (which is exactly the fraction of SQL avoided).
+	WarmNsPerOp float64 `json:"warm_ns_per_op"`
+	WarmHitRate float64 `json:"warm_cache_hit_rate"`
+}
+
+// ProbeReport is the machine-readable artifact behind BENCH_probe.json.
+type ProbeReport struct {
+	Level           int          `json:"level"`
+	Strategy        string       `json:"strategy"`
+	Rounds          int          `json:"rounds"`
+	QueriesPerRound int          `json:"queries_per_round"`
+	// GOMAXPROCS and NumCPU qualify the speedup column: worker counts beyond
+	// the core count cannot shorten CPU-bound probe batches.
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Points     []ProbePoint `json:"points"`
+}
+
+// ProbeSweep measures the Phase 3 probe scheduler across worker counts: the
+// full workload is debugged `rounds` times per worker count with the cache
+// bypassed (latency and probe volume), then once cold and `rounds` times warm
+// against a fresh probe cache (hit rate and warm latency). RE is used as the
+// probing strategy because it issues the largest independent batches — the
+// best case for the scheduler and the worst case for the database.
+func ProbeSweep(env *Env, level int, workers []int, rounds int) (*Table, *ProbeReport, error) {
+	sys, err := env.System(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := dblife.Workload()
+	rep := &ProbeReport{
+		Level:           level,
+		Strategy:        core.RE.String(),
+		Rounds:          rounds,
+		QueriesPerRound: len(queries),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+	}
+
+	sweep := func(w int, bypass bool) (nsPerOp, probesPerOp, hitRate float64, err error) {
+		var ops, probes, hits int
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			for _, q := range queries {
+				out, err := sys.Debug(q.Keywords, core.Options{
+					Strategy: core.RE, Workers: w, BypassCache: bypass,
+				})
+				if err != nil {
+					return 0, 0, 0, fmt.Errorf("bench: probe sweep %s workers=%d: %w", q.ID, w, err)
+				}
+				ops++
+				probes += out.Stats.SQLExecuted
+				hits += out.Stats.CacheHits
+			}
+		}
+		elapsed := float64(time.Since(start).Nanoseconds())
+		if probes == 0 {
+			return elapsed / float64(ops), 0, 0, nil
+		}
+		return elapsed / float64(ops), float64(probes) / float64(ops), float64(hits) / float64(probes), nil
+	}
+
+	// One untimed pass first: the engine builds its inverted index lazily on
+	// the first Debug, and without this the cost lands entirely in the first
+	// worker point and masquerades as parallel speedup.
+	if _, _, _, err := sweep(workers[0], true); err != nil {
+		return nil, nil, err
+	}
+
+	var serialNs float64
+	for i, w := range workers {
+		p := ProbePoint{Workers: w}
+		p.NsPerOp, p.ProbesPerOp, _, err = sweep(w, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			serialNs = p.NsPerOp
+		}
+		if p.NsPerOp > 0 {
+			p.SpeedupVsSerial = serialNs / p.NsPerOp
+		}
+
+		// Fresh cache per point: one cold pass to warm it, then timed warm
+		// rounds where (almost) every probe should hit.
+		sys.SetProbeCache(probecache.New(probecache.Config{}))
+		if _, _, _, err := sweep(w, false); err != nil {
+			return nil, nil, err
+		}
+		p.WarmNsPerOp, _, p.WarmHitRate, err = sweep(w, false)
+		sys.SetProbeCache(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Points = append(rep.Points, p)
+	}
+
+	t := &Table{
+		ID:    "probe",
+		Title: fmt.Sprintf("probe scheduler sweep at level %d (%s, %d rounds x %d queries)", level, rep.Strategy, rounds, len(queries)),
+		Columns: []string{"workers", "ns_per_op", "probes_per_op", "speedup",
+			"warm_ns_per_op", "warm_hit_rate"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; speedup is relative to workers=%d; warm columns repeat the workload against a pre-warmed probe cache",
+			rep.GOMAXPROCS, rep.NumCPU, workers[0]),
+	}
+	for _, p := range rep.Points {
+		t.Rows = append(t.Rows, []string{
+			itoa(p.Workers),
+			fmt.Sprintf("%.0f", p.NsPerOp),
+			fmt.Sprintf("%.1f", p.ProbesPerOp),
+			fmt.Sprintf("%.2fx", p.SpeedupVsSerial),
+			fmt.Sprintf("%.0f", p.WarmNsPerOp),
+			fmt.Sprintf("%.1f%%", 100*p.WarmHitRate),
+		})
+	}
+	return t, rep, nil
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"kwsdbg/internal/figure2"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/probecache"
 )
 
 func benchSystem(b *testing.B) *System {
@@ -61,4 +64,86 @@ func BenchmarkSublatticeBuild(b *testing.B) {
 			b.Fatal("empty sublattice")
 		}
 	}
+}
+
+// BenchmarkRenderSQL quantifies the per-run rendered-SQL memo: "cold"
+// renders a node's probe query fresh every iteration (a new oracle each
+// time, as every probe did before the memo existed); "memo" pays the render
+// once and hits the sync.Map afterwards — the path BU/TD take when probing a
+// shared descendant once per MTN.
+func BenchmarkRenderSQL(b *testing.B) {
+	sys := benchSystem(b)
+	kws := []string{"saffron", "scented", "candle"}
+	ph, err := sys.phase12(kws)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sub := buildSublattice(sys.lat, ph.mtnIDs)
+	nodeID := sub.nodeID[sub.len()-1] // deepest node: the costliest render
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := newSQLOracle(context.Background(), sys.lat, sys.db, kws)
+			if _, err := o.renderSQL(nodeID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		o := newSQLOracle(context.Background(), sys.lat, sys.db, kws)
+		if _, err := o.renderSQL(nodeID); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := o.renderSQL(nodeID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkDebugWorkers sweeps the probe scheduler's worker counts over the
+// strategy with the largest independent batches (RE) and the paper's default
+// (BUWR). On a single-core host the parallel runs mainly measure scheduler
+// overhead; see BENCH_probe.json for the full sweep with cache effects.
+func BenchmarkDebugWorkers(b *testing.B) {
+	sys := benchSystem(b)
+	kws := []string{"saffron", "scented", "candle"}
+	for _, strat := range []Strategy{RE, BUWR} {
+		for _, w := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", strat, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Debug(kws, Options{Strategy: strat, Workers: w}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkProbeCacheWarm measures a Debug call when every verdict is served
+// from the cross-request probe cache, against the same call bypassing it.
+func BenchmarkProbeCacheWarm(b *testing.B) {
+	sys := benchSystem(b)
+	kws := []string{"saffron", "scented", "candle"}
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	defer sys.SetProbeCache(nil)
+	if _, err := sys.Debug(kws, Options{Strategy: RE}); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Debug(kws, Options{Strategy: RE}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("bypass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -12,11 +12,13 @@ import (
 	"database/sql"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/probecache"
 	"kwsdbg/internal/sqldriver"
 	"kwsdbg/internal/storage"
 )
@@ -69,6 +71,11 @@ type System struct {
 	eng *engine.Engine
 	lat *lattice.Lattice
 	db  *sql.DB
+
+	// cache, when set, carries aliveness verdicts across Debug calls; see
+	// SetProbeCache. Atomic because servers install or swap it while
+	// concurrent Debug calls are running.
+	cache atomic.Pointer[probecache.Cache]
 }
 
 // NewSystem wires an engine and a pre-generated lattice together. The lattice
@@ -99,6 +106,19 @@ func (sys *System) Engine() *engine.Engine { return sys.eng }
 // DB returns the database/sql handle the debugger issues its probes through.
 func (sys *System) DB() *sql.DB { return sys.db }
 
+// SetProbeCache installs (or, with nil, removes) a cross-request aliveness
+// cache. Verdicts learned by one Debug call then answer identical probes in
+// later calls — different strategies, different keyword queries binding the
+// same sub-queries, repeated requests — without executing SQL. The cache's
+// generation is synced to the engine's DataVersion before each run, so
+// verdicts never survive a data change. Probe *counts* (Stats.SQLExecuted)
+// are unaffected: a cache hit is a probe the strategy spent, just one the
+// database did not have to answer; the savings show up in Stats.CacheHits.
+func (sys *System) SetProbeCache(c *probecache.Cache) { sys.cache.Store(c) }
+
+// ProbeCache returns the installed cross-request cache, or nil.
+func (sys *System) ProbeCache() *probecache.Cache { return sys.cache.Load() }
+
 // Stats aggregates the measurements of one debugging run — every quantity
 // §3 of the paper reports.
 type Stats struct {
@@ -123,7 +143,16 @@ type Stats struct {
 	SQLTime      time.Duration
 	TraverseTime time.Duration
 	Inferred     int // nodes classified without executing SQL
+	// CacheHits is how many of SQLExecuted were answered by the
+	// cross-request probe cache instead of the database. Unlike the counts
+	// above it depends on execution state (what earlier requests warmed),
+	// not just the query.
+	CacheHits int
 }
+
+// SQLIssued is the number of probes that actually reached the database:
+// SQLExecuted minus the cache hits.
+func (s Stats) SQLIssued() int { return s.SQLExecuted - s.CacheHits }
 
 // ReusePercent is Figure 13's metric: 100 * (1 - unique/total) over MTN
 // descendants; zero when MTNs have no descendants.
@@ -170,6 +199,18 @@ type Options struct {
 	// Pa is the aliveness prior of the score-based heuristic; the paper's
 	// default 0.5 is used when zero.
 	Pa float64
+	// Workers bounds the probe scheduler's concurrency: <= 1 (the default)
+	// probes serially, exactly as before; larger values probe independent
+	// lattice nodes — same-level batch members, or whole per-MTN runs for
+	// BU/TD — from that many goroutines. Any worker count produces the same
+	// Output and the same SQLExecuted as the serial run; SBH ignores the
+	// setting because its probe order is inherently sequential. Values above
+	// 64 are clamped.
+	Workers int
+	// BypassCache disables the System's cross-request probe cache for this
+	// run: no lookups, no stores. Useful for measuring true probe costs and
+	// for forcing fresh verdicts.
+	BypassCache bool
 	// Filter, when non-nil, restricts the candidate networks considered:
 	// MTNs for which it returns false are dropped after Phase 2, before any
 	// probing. This is the paper's §5 future-work hook ("pushing
@@ -250,15 +291,23 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	mReusePercent.Set(out.Stats.ReusePercent())
 
 	sqlOr := newSQLOracle(ctx, sys.lat, sys.db, keywords)
+	if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
+		// Tie the cache generation to the data: verdicts learned before any
+		// INSERT or index invalidation become unreachable here, before the
+		// first probe of this run could read one.
+		cache.SyncGeneration(sys.eng.DataVersion())
+		sqlOr.cache = cache
+	}
 	var oracle Oracle = sqlOr
 	sd := seed{baseAlive: sys.baseAliveFunc()}
 	if sess != nil {
 		oracle = &sessionOracle{inner: sqlOr, s: sess}
 		sd.pins = sess.pinned
 	}
+	workers := clampWorkers(opts.Workers)
 	_, sp3 := obs.StartSpan(ctx, "phase3")
 	start := time.Now()
-	res, inferred, err := sys.traverse(sub, oracle, sd, opts)
+	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers)
 	if err != nil {
 		sp3.End()
 		return nil, err
@@ -267,12 +316,15 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	out.Stats.SQLExecuted = sqlOr.Stats().Executed
 	out.Stats.SQLTime = sqlOr.Stats().SQLTime
 	out.Stats.Inferred = inferred
+	out.Stats.CacheHits = sqlOr.Stats().CacheHits
 	strat := opts.Strategy.String()
 	mPhaseSeconds.With("traverse").Observe(out.Stats.TraverseTime.Seconds())
 	mProbes.With(strat).Add(float64(out.Stats.SQLExecuted))
 	mInferred.With(strat).Add(float64(out.Stats.Inferred))
 	sp3.SetAttr("strategy", strat)
+	sp3.SetAttr("workers", workers)
 	sp3.SetAttr("probes", out.Stats.SQLExecuted)
+	sp3.SetAttr("cache_hits", out.Stats.CacheHits)
 	sp3.SetAttr("inferred", out.Stats.Inferred)
 	sp3.SetAttr("sql_ms", durMillis(out.Stats.SQLTime))
 	sp3.SetAttr("sub_nodes", out.Stats.SubNodes)

@@ -4,17 +4,22 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/probecache"
 )
 
 // Oracle answers aliveness probes for lattice nodes: does the node's
 // instantiated query return at least one tuple? Implementations count every
-// probe — the number of SQL queries executed is the quantity the paper's
-// evaluation compares across traversal strategies.
+// probe — the number of probes issued is the quantity the paper's evaluation
+// compares across traversal strategies — and must be safe for concurrent
+// IsAlive calls, because the Phase 3 scheduler probes independent nodes from
+// Options.Workers goroutines at once.
 type Oracle interface {
-	// IsAlive executes the node's existence query.
+	// IsAlive resolves the node's existence query.
 	IsAlive(nodeID int) (bool, error)
 	// Stats reports the accumulated execution counts and time.
 	Stats() OracleStats
@@ -22,30 +27,80 @@ type Oracle interface {
 
 // OracleStats accumulates the execution effort of one debugging run.
 type OracleStats struct {
-	Executed int           // SQL queries issued
-	SQLTime  time.Duration // wall time spent executing them
+	// Executed counts the probes the traversal strategy issued — the
+	// paper's metric. A probe answered by the cross-request cache still
+	// counts here (the strategy spent it), so Executed is identical for
+	// any worker count and any cache state.
+	Executed int
+	// CacheHits counts the subset of Executed answered by the
+	// cross-request aliveness cache without touching the engine; the SQL
+	// actually run is Executed - CacheHits.
+	CacheHits int
+	// SQLTime is wall time spent executing probe SQL (cache hits cost none).
+	SQLTime time.Duration
 }
 
 // sqlOracle renders each node's "SELECT 1 ... LIMIT 1" probe and runs it
 // through database/sql, exactly as the paper's Java implementation issued
-// probes through JDBC.
+// probes through JDBC. All state is synchronized: counts are atomic, and the
+// per-run rendered-SQL memo is a sync.Map, so concurrent probes of distinct
+// nodes proceed without contention.
 type sqlOracle struct {
 	ctx      context.Context
 	lat      *lattice.Lattice
 	db       *sql.DB
 	keywords []string
-	stats    OracleStats
+
+	// cache, when non-nil, is the cross-request aliveness cache; verdicts
+	// are looked up by (canonical label, keyword binding) before any SQL
+	// and stored after. Its generation is synced with the engine's data
+	// version by debugWith, never here.
+	cache *probecache.Cache
+
+	// sqlText memoizes rendered probe SQL per node ID for the run's
+	// lifetime. The no-reuse strategies (BU, TD) probe shared descendants
+	// once per MTN, and rendering — tree walk plus predicate expansion —
+	// was measurably recomputed on every one of those probes.
+	sqlText sync.Map // int -> string
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+	sqlNanos  atomic.Int64
 }
 
 func newSQLOracle(ctx context.Context, lat *lattice.Lattice, db *sql.DB, keywords []string) *sqlOracle {
 	return &sqlOracle{ctx: ctx, lat: lat, db: db, keywords: keywords}
 }
 
-// IsAlive implements Oracle.
-func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
+// renderSQL returns the node's existence query, rendering it at most once
+// per run.
+func (o *sqlOracle) renderSQL(nodeID int) (string, error) {
+	if v, ok := o.sqlText.Load(nodeID); ok {
+		return v.(string), nil
+	}
 	query, err := o.lat.SQL(o.lat.Node(nodeID), o.keywords, true)
 	if err != nil {
-		return false, fmt.Errorf("core: render node %d: %w", nodeID, err)
+		return "", fmt.Errorf("core: render node %d: %w", nodeID, err)
+	}
+	o.sqlText.Store(nodeID, query)
+	return query, nil
+}
+
+// IsAlive implements Oracle.
+func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
+	var key string
+	if o.cache != nil {
+		node := o.lat.Node(nodeID)
+		key = probecache.Key(node.Label, node.CopyMask, o.keywords)
+		if alive, ok := o.cache.Get(key); ok {
+			o.executed.Add(1)
+			o.cacheHits.Add(1)
+			return alive, nil
+		}
+	}
+	query, err := o.renderSQL(nodeID)
+	if err != nil {
+		return false, err
 	}
 	start := time.Now()
 	rows, err := o.db.QueryContext(o.ctx, query)
@@ -60,10 +115,19 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 	if closeErr != nil {
 		return false, closeErr
 	}
-	o.stats.Executed++
-	o.stats.SQLTime += time.Since(start)
+	o.executed.Add(1)
+	o.sqlNanos.Add(int64(time.Since(start)))
+	if o.cache != nil {
+		o.cache.Put(key, alive)
+	}
 	return alive, nil
 }
 
 // Stats implements Oracle.
-func (o *sqlOracle) Stats() OracleStats { return o.stats }
+func (o *sqlOracle) Stats() OracleStats {
+	return OracleStats{
+		Executed:  int(o.executed.Load()),
+		CacheHits: int(o.cacheHits.Load()),
+		SQLTime:   time.Duration(o.sqlNanos.Load()),
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kwsdbg/internal/probecache"
+)
+
+// normalized strips the execution-dependent fields from an Output — wall
+// times and cache hits — leaving exactly what the determinism guarantee
+// covers: answers, non-answers, MPAN sets (with ordering), keyword sets, and
+// the probe/inference counts.
+func normalized(out *Output) Output {
+	n := *out
+	n.Stats.MapTime = 0
+	n.Stats.PruneTime = 0
+	n.Stats.MTNTime = 0
+	n.Stats.SQLTime = 0
+	n.Stats.TraverseTime = 0
+	n.Stats.CacheHits = 0
+	return n
+}
+
+// TestParallelDeterminism is the scheduler's contract as a property test:
+// across random schemas, data, and keyword queries, every strategy run with
+// Workers 2 and 8 — cache bypassed and cache enabled — produces an Output
+// identical to the serial, uncached run, including SQLExecuted and Inferred.
+// The only fields allowed to differ are wall times and CacheHits.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep is slow")
+	}
+	r := rand.New(rand.NewSource(20150806))
+	vocabPlus := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze", "missing"}
+	allStrategies := append(append([]Strategy{}, Strategies...), RE)
+	for trial := 0; trial < 6; trial++ {
+		sys, _ := randomSystem(t, r)
+		sys.SetProbeCache(probecache.New(probecache.Config{}))
+		for q := 0; q < 4; q++ {
+			nk := 1 + r.Intn(3)
+			kws := make([]string, nk)
+			for i := range kws {
+				kws[i] = vocabPlus[r.Intn(len(vocabPlus))]
+			}
+			for _, strat := range allStrategies {
+				base, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true})
+				if err != nil {
+					t.Fatalf("trial %d %v %v serial: %v", trial, kws, strat, err)
+				}
+				want := normalized(base)
+				variants := []Options{
+					{Strategy: strat, Workers: 2, BypassCache: true},
+					{Strategy: strat, Workers: 8, BypassCache: true},
+					{Strategy: strat, Workers: 1},
+					{Strategy: strat, Workers: 2},
+					{Strategy: strat, Workers: 8},
+				}
+				for _, opts := range variants {
+					out, err := sys.Debug(kws, opts)
+					if err != nil {
+						t.Fatalf("trial %d %v %v workers=%d cache=%v: %v",
+							trial, kws, strat, opts.Workers, !opts.BypassCache, err)
+					}
+					if got := normalized(out); !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d %v: %v workers=%d cache=%v diverges from serial\ngot:  %+v\nwant: %+v",
+							trial, kws, strat, opts.Workers, !opts.BypassCache, got, want)
+					}
+					if out.Stats.CacheHits > out.Stats.SQLExecuted {
+						t.Fatalf("trial %d %v %v: CacheHits %d > SQLExecuted %d",
+							trial, kws, strat, out.Stats.CacheHits, out.Stats.SQLExecuted)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSessionProbeCount pins down the single-flight guarantee: a
+// session running BU with Workers=8 — parallel per-MTN runs sharing the
+// memo — must execute exactly as many probes as a serial session, because
+// concurrent duplicate probes of a shared descendant coalesce just like the
+// serial memo hit they replace.
+func TestParallelSessionProbeCount(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"saffron", "scented", "candle"}
+	for _, strat := range []Strategy{BU, TD, BUWR, TDWR} {
+		serial, err := sys.NewSession(kws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outS, err := serial.Run(Options{Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v serial: %v", strat, err)
+		}
+		par, err := sys.NewSession(kws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outP, err := par.Run(Options{Strategy: strat, Workers: 8})
+		if err != nil {
+			t.Fatalf("%v parallel: %v", strat, err)
+		}
+		if serial.Probes() != par.Probes() {
+			t.Errorf("%v: serial session executed %d probes, parallel %d",
+				strat, serial.Probes(), par.Probes())
+		}
+		if !reflect.DeepEqual(canonical(outS), canonical(outP)) {
+			t.Errorf("%v: parallel session output diverges", strat)
+		}
+	}
+}
+
+// TestConcurrentDebugWithCache hammers one System from many goroutines with
+// mixed strategies, worker counts, and cache modes. Run under -race: it
+// exercises concurrent probe-cache access, concurrent engine Selects, and
+// concurrent scheduler pools sharing one process.
+func TestConcurrentDebugWithCache(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{MaxEntries: 128, TTL: time.Minute}))
+	kws := []string{"saffron", "scented", "candle"}
+	ref, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(ref)
+	strategies := []Strategy{BU, TD, BUWR, TDWR, SBH, RE}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				opts := Options{
+					Strategy:    strategies[(g+i)%len(strategies)],
+					Workers:     []int{1, 2, 8}[(g+i)%3],
+					BypassCache: (g+i)%4 == 0,
+				}
+				out, err := sys.Debug(kws, opts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if got := canonical(out); !reflect.DeepEqual(got, want) {
+					errCh <- fmt.Errorf("%v workers=%d diverged under concurrency", opts.Strategy, opts.Workers)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkersClamped verifies the Options.Workers normalization contract.
+func TestWorkersClamped(t *testing.T) {
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 8: 8, 64: 64, 1000: 64} {
+		if got := clampWorkers(in); got != want {
+			t.Errorf("clampWorkers(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

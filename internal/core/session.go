@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Session supports the interactive debugging loop the paper's conclusion
@@ -86,26 +87,60 @@ func (s *Session) Run(opts Options) (*Output, error) {
 	return out, nil
 }
 
-// sessionOracle layers pins and the memo over the SQL oracle.
+// sessionOracle layers pins and the memo over the SQL oracle. Concurrent
+// probes of the same node (parallel BU/TD runs share descendants) are
+// single-flighted: one caller executes, the rest wait for its verdict. That
+// is not just an optimization — it keeps the probe count identical to the
+// serial run, where the first traversal pays for a shared node and every
+// later one hits the memo.
 type sessionOracle struct {
 	inner Oracle
 	s     *Session
+
+	mu       sync.Mutex
+	inflight map[int]*probeCall
+}
+
+// probeCall is one in-flight probe; done closes when alive/err are final.
+type probeCall struct {
+	done  chan struct{}
+	alive bool
+	err   error
 }
 
 // IsAlive implements Oracle.
 func (o *sessionOracle) IsAlive(nodeID int) (bool, error) {
+	// Pins are written only between runs; reading without the lock is safe.
 	if alive, ok := o.s.pinned[nodeID]; ok {
 		return alive, nil
 	}
+	o.mu.Lock()
 	if alive, ok := o.s.memo[nodeID]; ok {
+		o.mu.Unlock()
 		return alive, nil
 	}
-	alive, err := o.inner.IsAlive(nodeID)
-	if err != nil {
-		return false, err
+	if c, ok := o.inflight[nodeID]; ok {
+		o.mu.Unlock()
+		<-c.done
+		return c.alive, c.err
 	}
-	o.s.memo[nodeID] = alive
-	return alive, nil
+	if o.inflight == nil {
+		o.inflight = make(map[int]*probeCall)
+	}
+	c := &probeCall{done: make(chan struct{})}
+	o.inflight[nodeID] = c
+	o.mu.Unlock()
+
+	c.alive, c.err = o.inner.IsAlive(nodeID)
+
+	o.mu.Lock()
+	if c.err == nil {
+		o.s.memo[nodeID] = c.alive
+	}
+	delete(o.inflight, nodeID)
+	o.mu.Unlock()
+	close(c.done)
+	return c.alive, c.err
 }
 
 // Stats implements Oracle.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -34,6 +35,12 @@ type run struct {
 	// the no-reuse strategies run one position at a time.
 	active bitset
 
+	// ctx and workers drive the probe scheduler (scheduler.go): workers > 1
+	// lets resolveLevel probe a level's unknown nodes concurrently, and ctx
+	// cancellation abandons in-flight batches between probes.
+	ctx     context.Context
+	workers int
+
 	status   []status
 	inferred int // classifications that did not execute SQL
 
@@ -49,11 +56,13 @@ type run struct {
 
 func newRun(sub *sublattice, oracle Oracle, positions []int) *run {
 	r := &run{
-		sub:    sub,
-		oracle: oracle,
-		active: newBitset(len(sub.mtns)),
-		status: make([]status, sub.len()),
-		mp:     make([]bitset, len(sub.mtns)),
+		sub:     sub,
+		oracle:  oracle,
+		active:  newBitset(len(sub.mtns)),
+		status:  make([]status, sub.len()),
+		mp:      make([]bitset, len(sub.mtns)),
+		ctx:     context.Background(),
+		workers: 1,
 	}
 	for _, mi := range positions {
 		r.active.set(mi)
@@ -237,11 +246,15 @@ func (r *run) bottomUp(sd seed) error {
 		}
 	}
 	for level := 2; level <= r.sub.maxLevel; level++ {
+		// The bucket is complete before its level starts (alive nodes only
+		// ever enqueue one level up), and the classification rules never act
+		// within a level, so resolveLevel may probe its unknown nodes
+		// concurrently and replay the verdicts in this sorted order.
 		sort.Ints(buckets[level])
+		if err := r.resolveLevel(buckets[level]); err != nil {
+			return err
+		}
 		for _, x := range buckets[level] {
-			if err := r.evaluate(x); err != nil {
-				return err
-			}
 			if r.status[x] == stAlive {
 				enqueueParents(x)
 			}
@@ -264,11 +277,13 @@ func (r *run) topDown(sd seed) error {
 	r.init(sd)
 	r.active.forEach(func(mi int) { enqueue(r.sub.mtns[mi]) })
 	for level := r.sub.maxLevel; level >= 2; level-- {
+		// Mirror image of bottomUp: dead nodes only enqueue one level down,
+		// so this bucket is final and its unknowns mutually independent.
 		sort.Ints(buckets[level])
+		if err := r.resolveLevel(buckets[level]); err != nil {
+			return err
+		}
 		for _, x := range buckets[level] {
-			if err := r.evaluate(x); err != nil {
-				return err
-			}
 			if r.status[x] == stDead {
 				for _, c := range r.sub.children[x] {
 					enqueue(int(c))
@@ -289,10 +304,19 @@ func (r *run) returnEverything(sd seed) error {
 	// rules R1/R2 could have inferred it — that is RE's defining waste.
 	seeded := make([]status, len(r.status))
 	copy(seeded, r.status)
+	pending := make([]int, 0, r.sub.len())
 	for x := 0; x < r.sub.len(); x++ {
-		if r.sub.level[x] < 2 || seeded[x] != stUnknown {
-			continue
+		if r.sub.level[x] >= 2 && seeded[x] == stUnknown {
+			pending = append(pending, x)
 		}
+	}
+	// The probe set is fixed by the seed snapshot — RE never consults what it
+	// has learned — so the whole traversal is one embarrassingly-parallel
+	// batch when the run has workers.
+	if r.workers > 1 && len(pending) > 1 {
+		return r.commit(pending, r.dispatch(pending))
+	}
+	for _, x := range pending {
 		alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
 		if err != nil {
 			return err
@@ -335,8 +359,11 @@ func (res *traverseResult) merge(one traverseResult) {
 	}
 }
 
-// traverse dispatches a Phase 3 strategy over the sub-lattice.
-func (sys *System) traverse(sub *sublattice, oracle Oracle, sd seed, opts Options) (traverseResult, int, error) {
+// traverse dispatches a Phase 3 strategy over the sub-lattice. workers > 1
+// engages the probe scheduler: within-run level batches for the with-reuse
+// strategies and RE, across-MTN runs for the no-reuse baselines. SBH stays
+// serial regardless — its probe choices depend on every previous verdict.
+func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, opts Options, workers int) (traverseResult, int, error) {
 	inferred := 0
 
 	switch opts.Strategy {
@@ -344,9 +371,13 @@ func (sys *System) traverse(sub *sublattice, oracle Oracle, sd seed, opts Option
 		// One traversal per MTN with private knowledge: shared descendants
 		// are re-probed for every MTN, which is exactly the redundancy the
 		// with-reuse variants eliminate.
+		if workers > 1 && len(sub.mtns) > 1 {
+			return sys.runMTNsParallel(ctx, sub, oracle, sd, opts.Strategy, workers)
+		}
 		acc := traverseResult{mpans: make(map[int][]int)}
 		for mi := range sub.mtns {
 			r := newRun(sub, oracle, []int{mi})
+			r.ctx, r.workers = ctx, workers
 			var err error
 			if opts.Strategy == BU {
 				err = r.bottomUp(sd)
@@ -373,6 +404,7 @@ func (sys *System) traverse(sub *sublattice, oracle Oracle, sd seed, opts Option
 			all[i] = i
 		}
 		r := newRun(sub, oracle, all)
+		r.ctx, r.workers = ctx, workers
 		var err error
 		switch opts.Strategy {
 		case BUWR:

@@ -13,8 +13,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"kwsdbg/internal/catalog"
 	"kwsdbg/internal/invidx"
@@ -26,6 +28,11 @@ import (
 // queries; data definition happens only at load time.
 type Engine struct {
 	db *storage.Database
+
+	// version counts observed data mutations: INSERTs through the engine,
+	// explicit index invalidations, and staleness detected at index
+	// rebuild time. Cross-request caches key their generations off it.
+	version atomic.Uint64
 
 	mu      sync.Mutex
 	ix      *invidx.Index
@@ -88,8 +95,14 @@ func (e *Engine) Database() *storage.Database { return e.db }
 func (e *Engine) Index() *invidx.Index {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.ix != nil && !e.indexStaleLocked() {
-		return e.ix
+	if e.ix != nil {
+		if !e.indexStaleLocked() {
+			return e.ix
+		}
+		// Rows reached storage without passing through Exec (tests and
+		// tools insert directly); surface the mutation to version-keyed
+		// caches the same way the index rebuild reacts to it.
+		e.version.Add(1)
 	}
 	e.ix = invidx.Build(e.db)
 	e.ixSizes = make(map[string]int)
@@ -117,7 +130,14 @@ func (e *Engine) InvalidateIndex() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ix = nil
+	e.version.Add(1)
 }
+
+// DataVersion returns a counter that advances whenever the engine observes a
+// data mutation: an INSERT, an explicit InvalidateIndex, or staleness
+// detected while serving Index. The probe cache uses it as its generation, so
+// verdicts learned before a data change can never be served after it.
+func (e *Engine) DataVersion() uint64 { return e.version.Load() }
 
 // Result is the outcome of a SELECT.
 type Result struct {
@@ -127,6 +147,12 @@ type Result struct {
 
 // Query parses and executes a SELECT statement.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext parses and executes a SELECT statement, abandoning the
+// enumeration when the context is cancelled.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqltext.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -135,7 +161,7 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
 	}
-	return e.Select(sel)
+	return e.SelectContext(ctx, sel)
 }
 
 // Exec parses and executes an INSERT statement, returning the number of rows
@@ -160,6 +186,7 @@ func (e *Engine) execInsert(ins *sqltext.Insert) error {
 	if !ok {
 		return fmt.Errorf("engine: unknown table %q", ins.Table)
 	}
+	e.version.Add(1)
 	rel := tbl.Relation()
 	for _, litRow := range ins.Rows {
 		if len(litRow) != len(rel.Columns) {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -214,10 +215,33 @@ type boundQuery struct {
 	residual []rpred
 	// projCols is the resolved explicit projection, if any.
 	projCols []colLoc
-	// scanned counts candidate rows visited during enumeration, for the
-	// rows-scanned metric. Single-goroutine per Select, so no atomics.
-	scanned int
 }
+
+// execState carries one Select call's enumeration state: the resolved query,
+// the per-alias plans and join order, the emit callback, and the rows-scanned
+// counter. Every call allocates its own execState, which is what makes
+// concurrent Selects on one Engine race-free by construction — the parallel
+// probe scheduler in internal/core issues many Selects at once and nothing
+// mutable is shared between them.
+type execState struct {
+	ctx   context.Context
+	bq    *boundQuery
+	plans []aliasPlan
+	order []int
+	emit  func([]storage.Row) bool
+	// scanned counts candidate rows visited during enumeration, for the
+	// rows-scanned metric. Per-call, so no atomics.
+	scanned int
+	// err records context cancellation observed mid-enumeration; the
+	// deadline is checked every ctxCheckRows scanned rows, so a runaway
+	// cross product is abandoned promptly when the request is cancelled.
+	err error
+}
+
+// ctxCheckRows is how many candidate rows are scanned between context
+// checks: frequent enough that cancellation lands within microseconds,
+// rare enough that the check does not show up in profiles.
+const ctxCheckRows = 4096
 
 func (e *Engine) resolve(sel *sqltext.Select) (*boundQuery, error) {
 	if len(sel.From) == 0 {
@@ -506,6 +530,14 @@ func (e *Engine) indexable(bq *boundQuery, ix *invidx.Index, a int, p rpred) ([]
 
 // Select executes a resolved SELECT statement.
 func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
+	return e.SelectContext(context.Background(), sel)
+}
+
+// SelectContext executes a resolved SELECT statement under a context: the
+// deadline is re-checked periodically while join bindings are enumerated, so
+// a cancelled request abandons even a long-running cross product instead of
+// running it to completion.
+func (e *Engine) SelectContext(ctx context.Context, sel *sqltext.Select) (*Result, error) {
 	start := time.Now()
 	bq, err := e.resolve(sel)
 	if err != nil {
@@ -519,7 +551,8 @@ func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
 		limit = -1 // the aggregate consumes all bindings
 	}
 	count := int64(0)
-	emit := func(env []storage.Row) bool {
+	st := &execState{ctx: ctx, bq: bq, plans: plans, order: order}
+	st.emit = func(env []storage.Row) bool {
 		if sel.Projection.Count {
 			count++
 			return true
@@ -530,15 +563,18 @@ func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
 
 	env := make([]storage.Row, len(bq.aliases))
 	if limit != 0 {
-		e.enumerate(bq, plans, order, 0, env, emit)
+		e.enumerate(st, 0, env)
 	}
 
+	mSQLExec.Inc()
+	mSQLSeconds.Observe(time.Since(start).Seconds())
+	mRowsScanned.Add(float64(st.scanned))
+	if st.err != nil {
+		return nil, st.err
+	}
 	if sel.Projection.Count {
 		res.Rows = append(res.Rows, []storage.Value{storage.IntV(count)})
 	}
-	mSQLExec.Inc()
-	mSQLSeconds.Observe(time.Since(start).Seconds())
-	mRowsScanned.Add(float64(bq.scanned))
 	return res, nil
 }
 
@@ -591,15 +627,17 @@ func projectRow(bq *boundQuery, env []storage.Row) []storage.Value {
 }
 
 // enumerate binds aliases in plan order by index-nested-loop backtracking.
-// It returns false when the emit callback asks to stop (LIMIT reached).
-func (e *Engine) enumerate(bq *boundQuery, plans []aliasPlan, order []int, depth int, env []storage.Row, emit func([]storage.Row) bool) bool {
+// It returns false when the emit callback asks to stop (LIMIT reached) or
+// the context is cancelled (recorded in st.err).
+func (e *Engine) enumerate(st *execState, depth int, env []storage.Row) bool {
+	bq, plans, order := st.bq, st.plans, st.order
 	if depth == len(order) {
 		for _, p := range bq.residual {
 			if !p.eval(env) {
 				return true
 			}
 		}
-		return emit(env)
+		return st.emit(env)
 	}
 	a := order[depth]
 	tbl := bq.tables[a]
@@ -617,7 +655,13 @@ func (e *Engine) enumerate(bq *boundQuery, plans []aliasPlan, order []int, depth
 	}
 
 	try := func(id storage.RowID) bool {
-		bq.scanned++
+		st.scanned++
+		if st.scanned%ctxCheckRows == 0 {
+			if err := st.ctx.Err(); err != nil {
+				st.err = err
+				return false
+			}
+		}
 		row := tbl.Row(id)
 		env[a] = row
 		defer func() { env[a] = nil }()
@@ -634,7 +678,7 @@ func (e *Engine) enumerate(bq *boundQuery, plans []aliasPlan, order []int, depth
 				return true
 			}
 		}
-		return e.enumerate(bq, plans, order, depth+1, env, emit)
+		return e.enumerate(st, depth+1, env)
 	}
 
 	// Prefer probing a hash index with a bound join value.

@@ -1,0 +1,18 @@
+package probecache
+
+import "kwsdbg/internal/obs"
+
+// Cache metrics, in the process-wide obs registry alongside the probe
+// counters of internal/core: a scrape of GET /metrics shows how many Phase 3
+// probes were answered from memory instead of the engine. Counters aggregate
+// over all Cache instances in the process (servers run one).
+var (
+	mHits = obs.Default.Counter("kwsdbg_probecache_hits_total",
+		"Aliveness probes answered from the cross-request cache.")
+	mMisses = obs.Default.Counter("kwsdbg_probecache_misses_total",
+		"Aliveness probes that missed the cross-request cache (including stale and expired entries).")
+	mEvictions = obs.Default.Counter("kwsdbg_probecache_evictions_total",
+		"Cache entries dropped by LRU pressure, TTL expiry, or generation staleness.")
+	mEntries = obs.Default.Gauge("kwsdbg_probecache_entries",
+		"Verdicts currently held by the cache.")
+)

@@ -1,0 +1,226 @@
+// Package probecache remembers aliveness verdicts across debugging requests.
+//
+// Phase 3 spends its entire budget on existence probes ("SELECT 1 ... LIMIT 1"
+// per lattice node), and the paper's Figure 13 shows that 60-90% of MTN
+// descendants are shared between the candidate networks of one query; the same
+// sharing holds *across* queries, because a node's probe is determined by its
+// canonical join-tree label plus the keyword bound to each copy — not by which
+// request asked. The cache therefore keys verdicts by (canonical node label,
+// per-copy keyword binding signature): two requests probing structurally
+// identical sub-queries with the same keywords share one verdict, even across
+// lattices of different depths.
+//
+// Entries are stamped with a data generation. Bumping the generation (after a
+// data load, an INSERT, or an index invalidation) makes every older entry a
+// miss in O(1); stale entries are evicted lazily as they are touched or as the
+// LRU rotates them out. An optional TTL bounds staleness against mutations the
+// generation counter cannot see.
+//
+// The cache is safe for concurrent use. Lookups and stores are O(1).
+package probecache
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxEntries bounds the cache when Config.MaxEntries is zero. An entry
+// is ~100 bytes (key string + list element), so the default costs a few MB.
+const DefaultMaxEntries = 1 << 16
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxEntries bounds the number of cached verdicts; 0 means
+	// DefaultMaxEntries, negative means unbounded.
+	MaxEntries int
+	// TTL expires entries this long after they were stored; 0 disables
+	// expiry (generation bumps remain the invalidation mechanism).
+	TTL time.Duration
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	// Generation is the current data generation; entries stored under
+	// older generations can never hit again.
+	Generation uint64
+}
+
+type entry struct {
+	key   string
+	alive bool
+	gen   uint64
+	// expires is the wall-clock deadline; zero time means no TTL.
+	expires time.Time
+}
+
+// Cache is a thread-safe LRU of alive/dead verdicts.
+type Cache struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used; values are *entry
+	items map[string]*list.Element
+	gen   uint64
+
+	hits, misses, evictions uint64
+
+	// now is the clock, injectable for TTL tests.
+	now func() time.Time
+}
+
+// New builds a cache with the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries == 0 {
+		cfg.MaxEntries = DefaultMaxEntries
+	}
+	return &Cache{
+		cfg:   cfg,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+		now:   time.Now,
+	}
+}
+
+// Key canonicalizes a probe identity: the node's canonical label (Algorithm
+// 2's labeling, shared by structurally identical join trees at any lattice
+// depth) plus the keyword bound to each copy the node uses. copyMask has bit
+// j set when the node contains a keyword copy j >= 1 (bit 0, the free tuple
+// set, is already part of the label). Nodes that use only copy 1 therefore
+// share entries between any two queries whose first keyword matches.
+func Key(label string, copyMask uint64, keywords []string) string {
+	var sb strings.Builder
+	sb.Grow(len(label) + 16)
+	sb.WriteString(label)
+	for j := 1; j <= len(keywords); j++ {
+		if copyMask&(1<<uint(j)) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\x00%d=%s", j, keywords[j-1])
+	}
+	return sb.String()
+}
+
+// Generation returns the current data generation.
+func (c *Cache) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// Bump advances the data generation, invalidating every cached verdict in
+// O(1). Call it whenever the underlying data may have changed (data load,
+// INSERT, index invalidation).
+func (c *Cache) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+}
+
+// SyncGeneration raises the cache's generation to at least gen, invalidating
+// entries stored under older generations. It lets callers drive invalidation
+// from an external version counter (e.g. the engine's data version) without
+// double-bumping when several requests observe the same reload.
+func (c *Cache) SyncGeneration(gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.gen {
+		c.gen = gen
+	}
+}
+
+// Get returns the cached verdict for the key, if it is present, current, and
+// unexpired. Stale entries (older generation or past TTL) are evicted on
+// contact and reported as misses.
+func (c *Cache) Get(key string) (alive, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.items[key]
+	if !found {
+		c.misses++
+		mMisses.Inc()
+		return false, false
+	}
+	en := el.Value.(*entry)
+	if en.gen != c.gen || (!en.expires.IsZero() && c.now().After(en.expires)) {
+		c.removeLocked(el)
+		c.misses++
+		mMisses.Inc()
+		return false, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	mHits.Inc()
+	return en.alive, true
+}
+
+// Put stores a verdict under the current generation, evicting the least
+// recently used entry when the cache is full.
+func (c *Cache) Put(key string, alive bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if c.cfg.TTL > 0 {
+		expires = c.now().Add(c.cfg.TTL)
+	}
+	if el, found := c.items[key]; found {
+		en := el.Value.(*entry)
+		en.alive, en.gen, en.expires = alive, c.gen, expires
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry{key: key, alive: alive, gen: c.gen, expires: expires})
+	c.items[key] = el
+	mEntries.Set(float64(len(c.items)))
+	if c.cfg.MaxEntries > 0 && len(c.items) > c.cfg.MaxEntries {
+		if back := c.ll.Back(); back != nil {
+			c.removeLocked(back)
+		}
+	}
+}
+
+// removeLocked drops one entry; the caller holds c.mu.
+func (c *Cache) removeLocked(el *list.Element) {
+	en := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, en.key)
+	c.evictions++
+	mEvictions.Inc()
+	mEntries.Set(float64(len(c.items)))
+}
+
+// Len reports the number of entries currently held (including any stale ones
+// not yet evicted).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Purge empties the cache without touching the generation or the counters.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	mEntries.Set(0)
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Entries:    len(c.items),
+		Generation: c.gen,
+	}
+}

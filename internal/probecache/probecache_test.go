@@ -1,0 +1,174 @@
+package probecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New(Config{MaxEntries: 4})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", true)
+	c.Put("b", false)
+	if alive, ok := c.Get("a"); !ok || !alive {
+		t.Fatalf("Get(a) = %v, %v; want true, true", alive, ok)
+	}
+	if alive, ok := c.Get("b"); !ok || alive {
+		t.Fatalf("Get(b) = %v, %v; want false, true", alive, ok)
+	}
+	st := c.Snapshot()
+	if st.Hits != 2 || st.Misses != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 2 hits, 1 miss, 2 entries", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	c.Put("a", true)
+	c.Put("b", true)
+	c.Get("a") // a is now most recently used
+	c.Put("c", true)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if st := c.Snapshot(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v; want 1 eviction, 2 entries", st)
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := New(Config{MaxEntries: 2})
+	c.Put("a", true)
+	c.Put("a", false)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d; want 1 (update, not duplicate)", c.Len())
+	}
+	if alive, ok := c.Get("a"); !ok || alive {
+		t.Fatalf("Get(a) = %v, %v; want updated false verdict", alive, ok)
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	c := New(Config{})
+	c.Put("a", true)
+	c.Bump()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry from an old generation must miss")
+	}
+	// Stale contact evicts the entry.
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not evicted on contact; Len = %d", c.Len())
+	}
+	c.Put("a", false)
+	if alive, ok := c.Get("a"); !ok || alive {
+		t.Fatalf("Get after re-put = %v, %v; want false, true", alive, ok)
+	}
+}
+
+func TestSyncGeneration(t *testing.T) {
+	c := New(Config{})
+	c.Put("a", true)
+	c.SyncGeneration(5)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry must be stale after SyncGeneration(5)")
+	}
+	// Syncing to the same or lower value must not invalidate again.
+	c.Put("b", true)
+	c.SyncGeneration(5)
+	c.SyncGeneration(3)
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("entry lost by idempotent SyncGeneration")
+	}
+	if g := c.Generation(); g != 5 {
+		t.Fatalf("Generation = %d; want 5", g)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := New(Config{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", true)
+	now = now.Add(30 * time.Second)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	now = now.Add(31 * time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+	if c.Len() != 0 {
+		t.Fatal("expired entry not evicted on contact")
+	}
+}
+
+func TestKeyBindingSignature(t *testing.T) {
+	kws := []string{"widom", "trio"}
+	// Same label, same copies, same keywords: one key.
+	if Key("L", 0b10, kws) != Key("L", 0b10, kws) {
+		t.Fatal("identical probes must share a key")
+	}
+	// Copy 1 only: the second keyword must not matter.
+	if Key("L", 0b10, []string{"widom", "trio"}) != Key("L", 0b10, []string{"widom", "other"}) {
+		t.Fatal("unused keyword slots must not split the key")
+	}
+	// Different keyword for a used copy: different key.
+	if Key("L", 0b10, []string{"widom"}) == Key("L", 0b10, []string{"ullman"}) {
+		t.Fatal("binding must be part of the key")
+	}
+	// Copy index matters: keyword 1 on copy 1 vs copy 2.
+	if Key("L", 0b10, []string{"widom", "widom"}) == Key("L", 0b100, []string{"widom", "widom"}) {
+		t.Fatal("copy positions must be part of the key")
+	}
+	// Label matters.
+	if Key("L1", 0b10, kws) == Key("L2", 0b10, kws) {
+		t.Fatal("label must be part of the key")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(Config{})
+	c.Put("a", true)
+	c.Put("b", true)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Purge = %d", c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit after Purge")
+	}
+}
+
+// TestConcurrent hammers the cache from many goroutines; run under -race.
+func TestConcurrent(t *testing.T) {
+	c := New(Config{MaxEntries: 64, TTL: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%100)
+				if i%7 == 0 {
+					c.Bump()
+				}
+				c.Put(key, i%2 == 0)
+				c.Get(key)
+				if i%50 == 0 {
+					c.Snapshot()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -117,13 +117,18 @@ type jsonDead struct {
 }
 
 type jsonStats struct {
-	Strategy     string  `json:"strategy"`
-	LatticeNodes int     `json:"lattice_nodes"`
-	PrunedNodes  int     `json:"pruned_nodes"`
-	MTNs         int     `json:"mtns"`
-	SQLExecuted  int     `json:"sql_executed"`
-	Inferred     int     `json:"inferred"`
-	SQLMillis    float64 `json:"sql_ms"`
+	Strategy     string `json:"strategy"`
+	LatticeNodes int    `json:"lattice_nodes"`
+	PrunedNodes  int    `json:"pruned_nodes"`
+	MTNs         int    `json:"mtns"`
+	SQLExecuted  int    `json:"sql_executed"`
+	Inferred     int    `json:"inferred"`
+	// CacheHits is how many of sql_executed were answered by the
+	// cross-request probe cache; sql_issued is the remainder that actually
+	// reached the database.
+	CacheHits int     `json:"cache_hits"`
+	SQLIssued int     `json:"sql_issued"`
+	SQLMillis float64 `json:"sql_ms"`
 }
 
 // JSONOptions controls the machine-readable rendering.
@@ -162,6 +167,8 @@ func JSONOpts(w io.Writer, out *core.Output, opts JSONOptions) error {
 			MTNs:         out.Stats.MTNs,
 			SQLExecuted:  out.Stats.SQLExecuted,
 			Inferred:     out.Stats.Inferred,
+			CacheHits:    out.Stats.CacheHits,
+			SQLIssued:    out.Stats.SQLIssued(),
 			SQLMillis:    float64(out.Stats.SQLTime.Microseconds()) / 1000,
 		},
 	}

@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1]
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0]
 //	GET /search?q=red+candle[&k=10]
 //	GET /metrics
 //	GET /healthz
@@ -55,6 +55,9 @@ type Server struct {
 	mux *http.ServeMux
 	// Timeout bounds each request's probing work; zero means no bound.
 	Timeout time.Duration
+	// Workers is the default probe concurrency for /debug requests; <= 1
+	// probes serially. Requests override it with ?workers=N.
+	Workers int
 	// Logger receives one structured line per request plus response-encoding
 	// failures; nil means slog.Default().
 	Logger *slog.Logger
@@ -193,13 +196,25 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	workers := s.Workers
+	if raw := r.URL.Query().Get("workers"); raw != "" {
+		workers, err = strconv.Atoi(raw)
+		if err != nil || workers < 1 || workers > 64 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q (want 1..64)", raw))
+			return
+		}
+	}
 	ctx, cancel := s.context(r)
 	defer cancel()
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, root = obs.StartTrace(ctx, "debug")
 	}
-	out, err := s.sys.DebugContext(ctx, kws, core.Options{Strategy: strat})
+	out, err := s.sys.DebugContext(ctx, kws, core.Options{
+		Strategy:    strat,
+		Workers:     workers,
+		BypassCache: r.URL.Query().Get("cache") == "0",
+	})
 	root.End()
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
@@ -275,12 +290,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":        "ok",
 		"lattice_nodes": s.sys.Lattice().Len(),
 		"levels":        s.sys.Lattice().Levels(),
 		"tuples":        s.sys.Engine().Database().TotalRows(),
-	})
+	}
+	if c := s.sys.ProbeCache(); c != nil {
+		st := c.Snapshot()
+		body["probe_cache"] = map[string]any{
+			"entries":    st.Entries,
+			"hits":       st.Hits,
+			"misses":     st.Misses,
+			"evictions":  st.Evictions,
+			"generation": st.Generation,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
 }
 
 func parseStrategy(name string) (core.Strategy, error) {

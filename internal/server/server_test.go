@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"kwsdbg/internal/core"
 	"kwsdbg/internal/figure2"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/probecache"
 )
 
 func testServer(t *testing.T) *Server {
@@ -247,5 +249,81 @@ func TestRequestIDHeader(t *testing.T) {
 	}
 	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
 		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+// TestDebugWorkersAndCache exercises the /debug concurrency and cache knobs:
+// results must be identical across worker counts, a warm cache must report
+// hits while sql_executed stays fixed, and cache=0 must bypass it again.
+func TestDebugWorkersAndCache(t *testing.T) {
+	s := testServer(t)
+	s.sys.SetProbeCache(probecache.New(probecache.Config{}))
+
+	stats := func(path string) (map[string]any, map[string]any) {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s: status = %d: %v", path, rec.Code, body)
+		}
+		return body, body["stats"].(map[string]any)
+	}
+
+	base, st0 := stats("/debug?q=saffron+scented+candle&strategy=BUWR&cache=0")
+	if st0["cache_hits"].(float64) != 0 {
+		t.Fatalf("cache=0 run reported cache hits: %v", st0)
+	}
+	for _, path := range []string{
+		"/debug?q=saffron+scented+candle&strategy=BUWR&workers=4&cache=0",
+		"/debug?q=saffron+scented+candle&strategy=BUWR&workers=4",
+	} {
+		body, st := stats(path)
+		if st["sql_executed"] != st0["sql_executed"] {
+			t.Errorf("%s: sql_executed = %v, want %v", path, st["sql_executed"], st0["sql_executed"])
+		}
+		if !reflect.DeepEqual(body["answers"], base["answers"]) ||
+			!reflect.DeepEqual(body["non_answers"], base["non_answers"]) {
+			t.Errorf("%s: output diverged from serial run", path)
+		}
+	}
+	// The previous request warmed the cache; a repeat must hit it.
+	_, st := stats("/debug?q=saffron+scented+candle&strategy=BUWR")
+	if st["cache_hits"].(float64) == 0 {
+		t.Errorf("warm repeat reported no cache hits: %v", st)
+	}
+	if got := st["sql_issued"].(float64); got != st["sql_executed"].(float64)-st["cache_hits"].(float64) {
+		t.Errorf("sql_issued = %v, want executed - hits", got)
+	}
+	// And a bypass run right after must not.
+	_, st = stats("/debug?q=saffron+scented+candle&strategy=BUWR&cache=0")
+	if st["cache_hits"].(float64) != 0 {
+		t.Errorf("cache=0 after warmup still hit: %v", st)
+	}
+
+	rec, _ := get(t, s, "/debug?q=candle&workers=banana")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("workers=banana: status = %d, want 400", rec.Code)
+	}
+	rec, _ = get(t, s, "/debug?q=candle&workers=9000")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("workers=9000: status = %d, want 400", rec.Code)
+	}
+}
+
+// TestHealthProbeCacheStats checks /healthz surfaces cache counters once a
+// cache is installed.
+func TestHealthProbeCacheStats(t *testing.T) {
+	s := testServer(t)
+	if _, body := get(t, s, "/healthz"); body["probe_cache"] != nil {
+		t.Fatal("probe_cache reported with no cache installed")
+	}
+	s.sys.SetProbeCache(probecache.New(probecache.Config{}))
+	get(t, s, "/debug?q=saffron+scented+candle&strategy=BUWR")
+	get(t, s, "/debug?q=saffron+scented+candle&strategy=BUWR")
+	_, body := get(t, s, "/healthz")
+	pc, ok := body["probe_cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no probe_cache in %v", body)
+	}
+	if pc["entries"].(float64) <= 0 || pc["hits"].(float64) <= 0 {
+		t.Errorf("probe_cache stats = %v, want entries and hits > 0", pc)
 	}
 }

@@ -112,7 +112,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	if len(args) > 0 {
 		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
 	}
-	res, err := c.eng.Query(query)
+	res, err := c.eng.QueryContext(ctx, query)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify experiments bench
+.PHONY: all build vet test race verify experiments bench chaos
 
 all: verify
 
@@ -24,8 +24,17 @@ verify: build vet test race
 experiments:
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3
 
-# Probe scheduler + cache sweep: renders the table to stdout and writes the
-# machine-readable report (ns/op, probes/op, speedup, warm-cache hit rate at
-# workers=1,2,4,8) to BENCH_probe.json.
+# Fault-injection and resource-governance tests, repeated to shake out
+# scheduling-dependent flakes: engine retry/backoff under injected transient
+# faults, core identity under faults, budget/deadline degradation, and
+# cancellation cleanliness.
+chaos:
+	$(GO) test -count=5 -run 'Chaos|Fault|Retry|Budget|Deadline|Cancel' ./internal/engine ./internal/core
+
+# Probe scheduler + cache sweep and the budget degradation curve: renders the
+# tables to stdout and writes the machine-readable reports (ns/op, probes/op,
+# speedup, warm-cache hit rate at workers=1,2,4,8; MPAN recall vs budget
+# fraction) to BENCH_probe.json and BENCH_degrade.json.
 bench:
-	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe -probe-json BENCH_probe.json
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade \
+		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json

@@ -30,16 +30,17 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
 	cacheDir := flag.String("cachedir", "", "directory for persisted lattices (skips regeneration on reruns)")
 	probeJSON := flag.String("probe-json", "", "path where the 'probe' step writes its JSON report")
+	degradeJSON := flag.String("degrade-json", "", "path where the 'degrade' step writes its JSON report")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *verbose); err != nil {
+	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON string, verbose bool) error {
+func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON string, verbose bool) error {
 	if maxLevel < 3 {
 		return fmt.Errorf("-maxlevel must be >= 3")
 	}
@@ -117,6 +118,22 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, p
 					return nil, err
 				}
 				if err := os.WriteFile(probeJSON, append(body, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}},
+		step{"degrade", func() (*bench.Table, error) {
+			t, rep, err := bench.DegradeSweep(env, mid, []float64{1, 0.75, 0.5, 0.25, 0.1})
+			if err != nil {
+				return nil, err
+			}
+			if degradeJSON != "" {
+				body, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(degradeJSON, append(body, '\n'), 0o644); err != nil {
 					return nil, err
 				}
 			}

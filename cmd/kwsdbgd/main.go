@@ -10,6 +10,12 @@
 // /debug/pprof/, expvar under /debug/vars, and a /metrics mirror, kept off
 // the public address. SIGINT/SIGTERM trigger a graceful shutdown that drains
 // in-flight requests before exiting.
+//
+// Resource governance: -max-inflight caps concurrent debug/search work
+// (overflow is shed with 429), -request-timeout and -probe-budget bound one
+// request's probing (exhaustion yields a partial, flagged result rather than
+// an error), and -retry-max controls how often transient SQL failures are
+// retried with exponential backoff.
 package main
 
 import (
@@ -44,8 +50,12 @@ func main() {
 	slots := flag.Int("slots", 3, "maximum keywords per query")
 	addr := flag.String("addr", ":8080", "listen address")
 	debugAddr := flag.String("debug-addr", "", "optional second listen address for pprof/expvar/metrics (disabled when empty)")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request probing budget")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request probing time budget")
+	flag.DurationVar(timeout, "request-timeout", 30*time.Second, "alias for -timeout")
 	workers := flag.Int("workers", 1, "default probe concurrency per /debug request (1 = serial; requests override with ?workers=)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent /debug and /search requests; overflow is shed with 429 (0 = unlimited)")
+	probeBudget := flag.Int("probe-budget", 0, "max SQL probes per /debug request; exhaustion yields a partial result (0 = unlimited)")
+	retryMax := flag.Int("retry-max", engine.DefaultRetry.MaxAttempts, "SQL executions per probe on transient failures, including the first (1 = no retries)")
 	cacheSize := flag.Int("probe-cache-size", probecache.DefaultMaxEntries, "cross-request probe cache entries (0 disables the cache, negative = unbounded)")
 	cacheTTL := flag.Duration("probe-cache-ttl", 0, "probe cache entry lifetime (0 = no TTL)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -64,6 +74,7 @@ func main() {
 		addr: *addr, debugAddr: *debugAddr,
 		timeout: *timeout, workers: *workers,
 		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
+		maxInflight: *maxInflight, probeBudget: *probeBudget, retryMax: *retryMax,
 	}
 	if err := run(logger, cfg); err != nil {
 		logger.Error("fatal", slog.String("error", err.Error()))
@@ -81,6 +92,9 @@ type serveConfig struct {
 	workers         int
 	cacheSize       int
 	cacheTTL        time.Duration
+	maxInflight     int
+	probeBudget     int
+	retryMax        int
 }
 
 func run(logger *slog.Logger, cfg serveConfig) error {
@@ -96,10 +110,15 @@ func run(logger *slog.Logger, cfg serveConfig) error {
 	if cfg.cacheSize != 0 {
 		sys.SetProbeCache(probecache.New(probecache.Config{MaxEntries: cfg.cacheSize, TTL: cfg.cacheTTL}))
 	}
+	if cfg.retryMax > 0 {
+		eng.SetRetryPolicy(engine.RetryPolicy{MaxAttempts: cfg.retryMax})
+	}
 	srv := server.New(sys)
 	srv.Timeout = timeout
 	srv.Workers = cfg.workers
 	srv.Logger = logger
+	srv.MaxInflight = cfg.maxInflight
+	srv.ProbeBudget = cfg.probeBudget
 
 	// Expose the serving system's shape through expvar alongside the
 	// runtime's memstats, for the /debug/vars listener.

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+)
+
+// DegradePoint is one budget fraction's micro-averaged quality over the
+// workload: how much of the full run's explanation survives when the
+// governor cuts probing short at that fraction of the serial probe count.
+type DegradePoint struct {
+	// BudgetFrac is the probe budget as a fraction of each query's full
+	// (unbudgeted) serial probe count; the absolute budget is per query,
+	// never below one probe.
+	BudgetFrac float64 `json:"budget_frac"`
+	// MPANRecall is the fraction of the full run's (non-answer, MPAN) pairs
+	// the budgeted run still reports, micro-averaged over all pairs in the
+	// workload. Soundness makes this a pure recall curve: a budgeted run
+	// never reports a pair the full run lacks.
+	MPANRecall float64 `json:"mpan_recall"`
+	// MTNCoverage is the fraction of candidate networks classified
+	// (answer or non-answer rather than unclassified).
+	MTNCoverage float64 `json:"mtn_coverage"`
+	// IncompleteRate is the fraction of queries whose output was flagged
+	// incomplete at this budget.
+	IncompleteRate float64 `json:"incomplete_rate"`
+	// ProbeFrac is the probes actually spent over the full run's probes. It
+	// tracks BudgetFrac but can sit above it at small fractions, where the
+	// one-probe-minimum floor dominates queries with few probes.
+	ProbeFrac float64 `json:"probe_frac"`
+}
+
+// DegradeReport is the machine-readable artifact behind BENCH_degrade.json:
+// the budget-versus-recall degradation curve the resource governor promises
+// ("partial answers degrade gracefully, they do not disappear").
+type DegradeReport struct {
+	Level    int            `json:"level"`
+	Strategy string         `json:"strategy"`
+	Queries  int            `json:"queries"`
+	Points   []DegradePoint `json:"points"`
+}
+
+// DegradeSweep measures how explanation quality decays as the per-request
+// probe budget shrinks. Each workload query is first debugged without a
+// budget to fix the ground truth (its full MPAN set and serial probe count),
+// then re-debugged at each budget fraction with the cache bypassed so the
+// governor, not the cache, decides what gets classified. SBH is used because
+// it is the paper's best strategy and the server's default.
+func DegradeSweep(env *Env, level int, fracs []float64) (*Table, *DegradeReport, error) {
+	sys, err := env.System(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := dblife.Workload()
+	rep := &DegradeReport{Level: level, Strategy: core.SBH.String(), Queries: len(queries)}
+
+	type truth struct {
+		keywords []string
+		pairs    map[string]bool
+		probes   int
+		mtns     int
+	}
+	var full []truth
+	for _, q := range queries {
+		out, err := sys.Debug(q.Keywords, core.Options{Strategy: core.SBH, BypassCache: true})
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: degrade full run %s: %w", q.ID, err)
+		}
+		tr := truth{keywords: q.Keywords, pairs: map[string]bool{}, probes: out.Stats.SQLExecuted, mtns: out.Stats.MTNs}
+		for _, na := range out.NonAnswers {
+			for _, p := range na.MPANs {
+				tr.pairs[na.Query.Tree+"|"+p.Tree] = true
+			}
+		}
+		full = append(full, tr)
+	}
+
+	for _, frac := range fracs {
+		pt := DegradePoint{BudgetFrac: frac}
+		var pairsTotal, pairsKept, mtnsTotal, mtnsDone, probesFull, probesSpent, incomplete int
+		for _, tr := range full {
+			budget := int(frac * float64(tr.probes))
+			if budget < 1 {
+				budget = 1
+			}
+			out, err := sys.Debug(tr.keywords, core.Options{
+				Strategy: core.SBH, BypassCache: true, ProbeBudget: budget,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: degrade budget=%d: %w", budget, err)
+			}
+			for _, na := range out.NonAnswers {
+				for _, p := range na.MPANs {
+					if !tr.pairs[na.Query.Tree+"|"+p.Tree] {
+						return nil, nil, fmt.Errorf("bench: budgeted run reported pair %s|%s absent from the full run",
+							na.Query.Tree, p.Tree)
+					}
+					pairsKept++
+				}
+			}
+			pairsTotal += len(tr.pairs)
+			mtnsTotal += tr.mtns
+			mtnsDone += tr.mtns - len(out.Unclassified)
+			probesFull += tr.probes
+			probesSpent += out.Stats.SQLExecuted
+			if out.Incomplete {
+				incomplete++
+			}
+		}
+		if pairsTotal > 0 {
+			pt.MPANRecall = float64(pairsKept) / float64(pairsTotal)
+		}
+		if mtnsTotal > 0 {
+			pt.MTNCoverage = float64(mtnsDone) / float64(mtnsTotal)
+		}
+		if probesFull > 0 {
+			pt.ProbeFrac = float64(probesSpent) / float64(probesFull)
+		}
+		pt.IncompleteRate = float64(incomplete) / float64(len(full))
+		rep.Points = append(rep.Points, pt)
+	}
+
+	t := &Table{
+		ID:      "degrade",
+		Title:   fmt.Sprintf("probe budget degradation at level %d (%s, %d queries)", level, rep.Strategy, len(queries)),
+		Columns: []string{"budget_frac", "mpan_recall", "mtn_coverage", "incomplete_rate", "probe_frac"},
+		Notes:   "budget is the given fraction of each query's unbudgeted serial probe count (min 1); recall is micro-averaged over (non-answer, MPAN) pairs; reported pairs are always a subset of the full run's",
+	}
+	for _, p := range rep.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.BudgetFrac),
+			fmt.Sprintf("%.1f%%", 100*p.MPANRecall),
+			fmt.Sprintf("%.1f%%", 100*p.MTNCoverage),
+			fmt.Sprintf("%.1f%%", 100*p.IncompleteRate),
+			fmt.Sprintf("%.2f", p.ProbeFrac),
+		})
+	}
+	return t, rep, nil
+}

@@ -30,10 +30,10 @@ type ProbePoint struct {
 
 // ProbeReport is the machine-readable artifact behind BENCH_probe.json.
 type ProbeReport struct {
-	Level           int          `json:"level"`
-	Strategy        string       `json:"strategy"`
-	Rounds          int          `json:"rounds"`
-	QueriesPerRound int          `json:"queries_per_round"`
+	Level           int    `json:"level"`
+	Strategy        string `json:"strategy"`
+	Rounds          int    `json:"rounds"`
+	QueriesPerRound int    `json:"queries_per_round"`
 	// GOMAXPROCS and NumCPU qualify the speedup column: worker counts beyond
 	// the core count cannot shorten CPU-bound probe batches.
 	GOMAXPROCS int          `json:"gomaxprocs"`

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kwsdbg/internal/engine"
+)
+
+// TestChaosTransientFaultIdentity proves the retry layer end to end: with a
+// deterministic fault injector failing every Nth execution attempt (down to
+// every 5th — a 20% transient fault rate), every strategy and worker count
+// still produces an Output identical to the fault-free run. The injector
+// counts *attempts*, so a failed execution's immediate retry lands on a
+// non-faulting count and succeeds — the chaos is aggressive but never
+// unrecoverable, which is exactly the transient-fault model.
+func TestChaosTransientFaultIdentity(t *testing.T) {
+	sys := productSystem(t)
+	sys.Engine().SetRetryPolicy(engine.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond,
+	})
+	kws := []string{"saffron", "scented", "candle"}
+	allStrategies := append(append([]Strategy{}, Strategies...), RE)
+	for _, every := range []int64{10, 5} { // 10% and 20% fault rates
+		for _, strat := range allStrategies {
+			for _, workers := range []int{1, 8} {
+				want, err := sys.Debug(kws, Options{Strategy: strat, Workers: workers, BypassCache: true})
+				if err != nil {
+					t.Fatalf("%v workers=%d fault-free: %v", strat, workers, err)
+				}
+				var attempts atomic.Int64
+				sys.Engine().SetFaultInjector(func() error {
+					if attempts.Add(1)%every == 0 {
+						return engine.Transient(fmt.Errorf("chaos: injected transient fault"))
+					}
+					return nil
+				})
+				out, err := sys.Debug(kws, Options{Strategy: strat, Workers: workers, BypassCache: true})
+				sys.Engine().SetFaultInjector(nil)
+				if err != nil {
+					t.Fatalf("%v workers=%d rate=1/%d: transient faults leaked: %v", strat, workers, every, err)
+				}
+				if got := normalized(out); !reflect.DeepEqual(got, normalized(want)) {
+					t.Fatalf("%v workers=%d rate=1/%d: output diverged under injected faults\ngot:  %+v\nwant: %+v",
+						strat, workers, every, got, normalized(want))
+				}
+			}
+		}
+	}
+}

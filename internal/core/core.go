@@ -179,6 +179,10 @@ type NonAnswer struct {
 	// MPANs are the maximal alive sub-queries: the frontier causes of the
 	// non-answer.
 	MPANs []QueryInfo
+	// Incomplete marks an explanation cut short by deadline or probe-budget
+	// exhaustion: every MPAN listed is guaranteed (it is an MPAN of the
+	// unbudgeted run too), but more may exist.
+	Incomplete bool
 }
 
 // Output is the full result of debugging one keyword query: the paper's
@@ -191,6 +195,18 @@ type Output struct {
 	Answers     []QueryInfo
 	NonAnswers  []NonAnswer
 	Stats       Stats
+
+	// Incomplete reports that the run exhausted its Options.Deadline or
+	// ProbeBudget before classifying everything. Everything present is still
+	// valid — answers and non-answers are true classifications and every
+	// listed MPAN is an MPAN of the unbudgeted run — but Unclassified MTNs
+	// and per-NonAnswer Incomplete flags mark what the frontier left open.
+	// IncompleteReason is ReasonProbeBudget or ReasonDeadline.
+	Incomplete       bool
+	IncompleteReason string
+	// Unclassified lists the candidate networks the exhausted run never
+	// settled: each could be an answer or a non-answer.
+	Unclassified []QueryInfo
 }
 
 // Options tunes a Debug run.
@@ -211,6 +227,18 @@ type Options struct {
 	// run: no lookups, no stores. Useful for measuring true probe costs and
 	// for forcing fresh verdicts.
 	BypassCache bool
+	// Deadline bounds the wall time Phase 3 may spend probing; zero means
+	// unlimited. Unlike cancelling the DebugContext context — which aborts
+	// the run with an error — an expired Deadline degrades gracefully: the
+	// run stops probing, keeps every verdict already committed, and returns
+	// a partial Output flagged Incomplete.
+	Deadline time.Duration
+	// ProbeBudget caps the number of probes the run may spend, counted
+	// exactly like Stats.SQLExecuted (cache hits included); <= 0 means
+	// unlimited. A budget of at least the serial run's probe count never
+	// trips for any worker count; a smaller one yields a partial, Incomplete
+	// Output whose reported MPANs are a subset of the unbudgeted run's.
+	ProbeBudget int
 	// Filter, when non-nil, restricts the candidate networks considered:
 	// MTNs for which it returns false are dropped after Phase 2, before any
 	// probing. This is the paper's §5 future-work hook ("pushing
@@ -240,8 +268,11 @@ func (sys *System) DebugContext(ctx context.Context, keywords []string, opts Opt
 func (sys *System) debugWith(ctx context.Context, keywords []string, opts Options, sess *Session) (out *Output, err error) {
 	defer func() {
 		status := "ok"
-		if err != nil {
+		switch {
+		case err != nil:
 			status = "error"
+		case out != nil && out.Incomplete:
+			status = "incomplete"
 		}
 		mDebugTotal.With(opts.Strategy.String(), status).Inc()
 	}()
@@ -290,7 +321,18 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	out.Stats.DescTotal, out.Stats.DescUnique = sub.descendantStats()
 	mReusePercent.Set(out.Stats.ReusePercent())
 
-	sqlOr := newSQLOracle(ctx, sys.lat, sys.db, keywords)
+	// The governor meters Phase 3: probes run under probeCtx (the caller's
+	// context plus the optional Deadline) so an expired deadline interrupts
+	// even an in-flight SQL probe, while the caller's own cancellation stays
+	// a hard error.
+	probeCtx, cancelProbes := ctx, func() {}
+	if opts.Deadline > 0 {
+		probeCtx, cancelProbes = context.WithTimeout(ctx, opts.Deadline)
+	}
+	defer cancelProbes()
+	gov := newGovernor(ctx, probeCtx, opts.ProbeBudget)
+
+	sqlOr := newSQLOracle(probeCtx, sys.lat, sys.db, keywords)
 	if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
 		// Tie the cache generation to the data: verdicts learned before any
 		// INSERT or index invalidation become unreachable here, before the
@@ -304,13 +346,23 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		oracle = &sessionOracle{inner: sqlOr, s: sess}
 		sd.pins = sess.pinned
 	}
-	workers := clampWorkers(opts.Workers)
+	workers := ClampWorkers(opts.Workers)
 	_, sp3 := obs.StartSpan(ctx, "phase3")
 	start := time.Now()
-	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers)
+	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers, gov)
+	if err == nil {
+		// A caller cancellation that lands after the last commit must not
+		// let the run masquerade as completed: check before any stats or
+		// counters are recorded.
+		err = ctx.Err()
+	}
 	if err != nil {
 		sp3.End()
 		return nil, err
+	}
+	if reason, tripped := gov.exhausted(); tripped {
+		out.Incomplete = true
+		out.IncompleteReason = reason
 	}
 	out.Stats.TraverseTime = time.Since(start)
 	out.Stats.SQLExecuted = sqlOr.Stats().Executed
@@ -336,7 +388,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		out.Answers = append(out.Answers, sys.queryInfo(sub.nodeID[m], keywords))
 	}
 	for _, m := range res.deadMTNs {
-		na := NonAnswer{Query: sys.queryInfo(sub.nodeID[m], keywords)}
+		na := NonAnswer{Query: sys.queryInfo(sub.nodeID[m], keywords), Incomplete: res.partial[m]}
 		for _, p := range res.mpans[m] {
 			na.MPANs = append(na.MPANs, sys.queryInfo(sub.nodeID[p], keywords))
 			out.Stats.MPANLevels[sub.level[p]]++
@@ -350,6 +402,10 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 			return na.MPANs[i].Tree < na.MPANs[j].Tree
 		})
 		out.NonAnswers = append(out.NonAnswers, na)
+	}
+	sort.Ints(res.unresolved)
+	for _, m := range res.unresolved {
+		out.Unclassified = append(out.Unclassified, sys.queryInfo(sub.nodeID[m], keywords))
 	}
 	return out, nil
 }

@@ -565,7 +565,8 @@ func TestOracleErrorPropagates(t *testing.T) {
 	sub := buildSublattice(sys.lat, ph.mtnIDs)
 	oracle := &failingOracle{}
 	for _, strat := range []Strategy{BU, TD, BUWR, TDWR, SBH, RE} {
-		_, _, err := sys.traverse(context.Background(), sub, oracle, seed{baseAlive: sys.baseAliveFunc()}, Options{Strategy: strat, Pa: 0.5}, 1)
+		gov := newGovernor(context.Background(), context.Background(), 0)
+		_, _, err := sys.traverse(context.Background(), sub, oracle, seed{baseAlive: sys.baseAliveFunc()}, Options{Strategy: strat, Pa: 0.5}, 1, gov)
 		if err == nil {
 			t.Errorf("%v swallowed the oracle error", strat)
 		}

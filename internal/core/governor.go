@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Exhaustion reasons, surfaced in Output.IncompleteReason, the report JSON,
+// and the server's kwsdbg_probe_budget_exhausted_total metric label.
+const (
+	ReasonProbeBudget = "probe_budget"
+	ReasonDeadline    = "deadline"
+)
+
+// errExhausted is the sentinel wrapped by every graceful-exhaustion error.
+// Traversals match it with errors.Is to separate "the run's allowance ran
+// out" (degrade to a partial result) from genuine failures (propagate).
+var errExhausted = errors.New("core: probe allowance exhausted")
+
+// exhaustedError records which allowance ran out first for this probe.
+type exhaustedError struct{ reason string }
+
+func (e *exhaustedError) Error() string {
+	return "core: probe allowance exhausted (" + e.reason + ")"
+}
+
+func (e *exhaustedError) Is(target error) bool { return target == errExhausted }
+
+// governor enforces one Debug run's probe allowances: the caller's context
+// (whose cancellation is a real error), the run's own Options.Deadline (whose
+// expiry degrades the run to a partial result), and the probe budget. Probes
+// are charged on admission — one per Oracle.IsAlive call, cache hits included
+// — which is exactly the Stats.SQLExecuted metric, so a budget of at least
+// the serial run's probe count can never trip for any worker count: the
+// scheduler probes precisely the serial probe set.
+type governor struct {
+	parent   context.Context // caller's context: its errors abort the run
+	probeCtx context.Context // parent plus Options.Deadline: its expiry is graceful
+
+	limited   bool
+	remaining atomic.Int64
+
+	mu     sync.Mutex
+	reason string // first allowance to run out; "" while none has
+}
+
+func newGovernor(parent, probeCtx context.Context, budget int) *governor {
+	g := &governor{parent: parent, probeCtx: probeCtx}
+	if budget > 0 {
+		g.limited = true
+		g.remaining.Store(int64(budget))
+	}
+	return g
+}
+
+// admit charges one probe against the allowances. It returns nil when the
+// probe may run, the parent context's error verbatim on cancellation, and an
+// exhaustedError when the deadline or budget has run out.
+func (g *governor) admit() error {
+	if err := g.parent.Err(); err != nil {
+		return err
+	}
+	if g.probeCtx.Err() != nil {
+		return g.trip(ReasonDeadline)
+	}
+	if g.limited && g.remaining.Add(-1) < 0 {
+		return g.trip(ReasonProbeBudget)
+	}
+	return nil
+}
+
+// graceful converts a probe failure caused by the run's own deadline into the
+// exhaustion sentinel: probe SQL executes under probeCtx, so expiry mid-query
+// surfaces as a wrapped context error rather than through admit. It returns
+// nil when err is a genuine failure the traversal must propagate — including
+// cancellation of the caller's own context.
+func (g *governor) graceful(err error) error {
+	if g.parent.Err() != nil || g.probeCtx.Err() == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return g.trip(ReasonDeadline)
+	}
+	return nil
+}
+
+func (g *governor) trip(reason string) error {
+	g.mu.Lock()
+	if g.reason == "" {
+		g.reason = reason
+	}
+	g.mu.Unlock()
+	return &exhaustedError{reason: reason}
+}
+
+// exhausted reports whether any allowance ran out, and which one tripped
+// first.
+func (g *governor) exhausted() (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.reason, g.reason != ""
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// mpanPairs flattens an Output's explanations into (dead query tree, MPAN
+// tree) pairs, the unit of the partial-result subset guarantee.
+func mpanPairs(out *Output) map[string]bool {
+	set := make(map[string]bool)
+	for _, na := range out.NonAnswers {
+		for _, p := range na.MPANs {
+			set[na.Query.Tree+"|"+p.Tree] = true
+		}
+	}
+	return set
+}
+
+// TestProbeBudgetDegradation is the governance contract as a property test:
+// across random systems and queries, (a) any ProbeBudget at least the serial
+// probe count leaves every strategy's Output byte-identical to the
+// unbudgeted run for any worker count, and (b) any smaller budget yields a
+// partial Output that is flagged Incomplete, never overspends, and only
+// claims things the full run also claims — answers, non-answers, and MPANs
+// are all subsets, with the unclassified remainder listed.
+func TestProbeBudgetDegradation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep is slow")
+	}
+	r := rand.New(rand.NewSource(77))
+	vocab := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze"}
+	allStrategies := append(append([]Strategy{}, Strategies...), RE)
+	for trial := 0; trial < 3; trial++ {
+		sys, _ := randomSystem(t, r)
+		for q := 0; q < 3; q++ {
+			kws := make([]string, 1+r.Intn(3))
+			for i := range kws {
+				kws[i] = vocab[r.Intn(len(vocab))]
+			}
+			for _, strat := range allStrategies {
+				full, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true})
+				if err != nil {
+					t.Fatalf("trial %d %v %v full: %v", trial, kws, strat, err)
+				}
+				serial := full.Stats.SQLExecuted
+
+				for _, opts := range []Options{
+					{Strategy: strat, BypassCache: true, ProbeBudget: serial},
+					{Strategy: strat, BypassCache: true, ProbeBudget: serial + 3, Workers: 8},
+				} {
+					if opts.ProbeBudget == 0 {
+						continue // serial == 0: budget 0 means unlimited, not "no probes"
+					}
+					out, err := sys.Debug(kws, opts)
+					if err != nil {
+						t.Fatalf("trial %d %v %v budget=%d workers=%d: %v",
+							trial, kws, strat, opts.ProbeBudget, opts.Workers, err)
+					}
+					if out.Incomplete {
+						t.Fatalf("trial %d %v %v: budget %d >= serial %d tripped",
+							trial, kws, strat, opts.ProbeBudget, serial)
+					}
+					if got, want := normalized(out), normalized(full); !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d %v %v budget=%d workers=%d diverges from unbudgeted run\ngot:  %+v\nwant: %+v",
+							trial, kws, strat, opts.ProbeBudget, opts.Workers, got, want)
+					}
+				}
+
+				if serial == 0 {
+					continue
+				}
+				fullPairs := mpanPairs(full)
+				fullAlive := make(map[string]bool)
+				for _, a := range full.Answers {
+					fullAlive[a.Tree] = true
+				}
+				fullDead := make(map[string]bool)
+				for _, na := range full.NonAnswers {
+					fullDead[na.Query.Tree] = true
+				}
+				for _, budget := range []int{serial - 1, (serial + 1) / 2, 1} {
+					if budget < 1 || budget >= serial {
+						continue
+					}
+					for _, workers := range []int{1, 8} {
+						out, err := sys.Debug(kws, Options{
+							Strategy: strat, BypassCache: true,
+							ProbeBudget: budget, Workers: workers,
+						})
+						if err != nil {
+							t.Fatalf("trial %d %v %v budget=%d: exhaustion must degrade, not fail: %v",
+								trial, kws, strat, budget, err)
+						}
+						if !out.Incomplete || out.IncompleteReason != ReasonProbeBudget {
+							t.Fatalf("trial %d %v %v: budget %d < serial %d but Incomplete=%v reason=%q",
+								trial, kws, strat, budget, serial, out.Incomplete, out.IncompleteReason)
+						}
+						if out.Stats.SQLExecuted > budget {
+							t.Fatalf("trial %d %v %v: spent %d probes over budget %d",
+								trial, kws, strat, out.Stats.SQLExecuted, budget)
+						}
+						for _, a := range out.Answers {
+							if !fullAlive[a.Tree] {
+								t.Fatalf("trial %d %v %v budget=%d: invented answer %s",
+									trial, kws, strat, budget, a.Tree)
+							}
+						}
+						for _, na := range out.NonAnswers {
+							if !fullDead[na.Query.Tree] {
+								t.Fatalf("trial %d %v %v budget=%d: invented non-answer %s",
+									trial, kws, strat, budget, na.Query.Tree)
+							}
+						}
+						for pair := range mpanPairs(out) {
+							if !fullPairs[pair] {
+								t.Fatalf("trial %d %v %v budget=%d: MPAN %q is not an MPAN of the full run",
+									trial, kws, strat, budget, pair)
+							}
+						}
+						if got, want := len(out.Answers)+len(out.NonAnswers)+len(out.Unclassified), full.Stats.MTNs; got != want {
+							t.Fatalf("trial %d %v %v budget=%d: classified+unclassified = %d MTNs, want %d",
+								trial, kws, strat, budget, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeadlineGraceful: an already-expired Deadline degrades to an
+// Incomplete partial result, and a generous one changes nothing.
+func TestDeadlineGraceful(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"saffron", "scented", "candle"}
+	full, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true, Deadline: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("an expired deadline must degrade, not fail: %v", err)
+	}
+	if !out.Incomplete || out.IncompleteReason != ReasonDeadline {
+		t.Fatalf("Incomplete=%v reason=%q, want deadline exhaustion", out.Incomplete, out.IncompleteReason)
+	}
+	fullPairs := mpanPairs(full)
+	for pair := range mpanPairs(out) {
+		if !fullPairs[pair] {
+			t.Fatalf("deadline-partial MPAN %q is not an MPAN of the full run", pair)
+		}
+	}
+
+	relaxed, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true, Deadline: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed.Incomplete {
+		t.Fatal("a generous deadline tripped")
+	}
+	if got, want := normalized(relaxed), normalized(full); !reflect.DeepEqual(got, want) {
+		t.Fatalf("generous deadline changed the output\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestCancelMidSchedulerClean is the regression test for cancellation
+// between batch-probe and commit: the fault hook cancels the caller's
+// context from inside Phase 3, and the run must end in a clean
+// context.Canceled — no Output, no probe counters recorded as a completed
+// request, and no goroutines left behind.
+func TestCancelMidSchedulerClean(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"saffron", "scented", "candle"}
+	// One warm-up run: lets the engine build its index and the sql.DB pool
+	// reach steady state, so the goroutine baseline below is stable.
+	if _, err := sys.Debug(kws, Options{Strategy: RE, BypassCache: true, Workers: 8}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	probesBefore := mProbes.With(RE.String()).Value()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var execs atomic.Int64
+	sys.Engine().SetFaultInjector(func() error {
+		if execs.Add(1) == 2 {
+			cancel() // mid-scheduler: between one batch's probes
+		}
+		return nil
+	})
+	defer sys.Engine().SetFaultInjector(nil)
+
+	out, err := sys.DebugContext(ctx, kws, Options{Strategy: RE, BypassCache: true, Workers: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got out=%v err=%v", out, err)
+	}
+	if out != nil {
+		t.Fatal("cancelled run returned an Output")
+	}
+	if got := mProbes.With(RE.String()).Value(); got != probesBefore {
+		t.Errorf("cancelled run recorded %v probes as a completed request", got-probesBefore)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak after cancellation: %d before, %d after", before, g)
+	}
+}

@@ -161,11 +161,12 @@ func TestConcurrentDebugWithCache(t *testing.T) {
 	}
 }
 
-// TestWorkersClamped verifies the Options.Workers normalization contract.
+// TestWorkersClamped verifies the Options.Workers normalization contract —
+// the exported clamp is the single authority the server reuses too.
 func TestWorkersClamped(t *testing.T) {
-	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 8: 8, 64: 64, 1000: 64} {
-		if got := clampWorkers(in); got != want {
-			t.Errorf("clampWorkers(%d) = %d, want %d", in, got, want)
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 8: 8, MaxWorkers: MaxWorkers, 1000: MaxWorkers} {
+		if got := ClampWorkers(in); got != want {
+			t.Errorf("ClampWorkers(%d) = %d, want %d", in, got, want)
 		}
 	}
 }

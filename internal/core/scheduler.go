@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -30,18 +31,22 @@ import (
 // bound; BU and TD parallelize across their independent per-MTN runs
 // instead, which is where their redundant probing makes concurrency pay.
 
-// maxWorkers caps Options.Workers; beyond this the scheduler is goroutine
-// churn, not throughput.
-const maxWorkers = 64
+// MaxWorkers caps Options.Workers; beyond this the scheduler is goroutine
+// churn, not throughput. It is exported so callers that surface a workers
+// knob (the HTTP server, CLIs) share the single authoritative bound instead
+// of hard-coding their own.
+const MaxWorkers = 64
 
-// clampWorkers normalizes an Options.Workers value: <= 0 selects serial
-// probing (the default behavior), and the cap bounds resource use.
-func clampWorkers(w int) int {
+// ClampWorkers normalizes an Options.Workers value: <= 0 selects serial
+// probing (the default behavior), and MaxWorkers bounds resource use. Debug
+// applies it internally; callers validating user input should use it too so
+// their accepted range can never drift from the scheduler's.
+func ClampWorkers(w int) int {
 	if w <= 0 {
 		return 1
 	}
-	if w > maxWorkers {
-		return maxWorkers
+	if w > MaxWorkers {
+		return MaxWorkers
 	}
 	return w
 }
@@ -78,7 +83,7 @@ func (r *run) dispatch(xs []int) []probeOutcome {
 				if failed.Load() || r.ctx.Err() != nil {
 					return
 				}
-				alive, err := r.oracle.IsAlive(r.sub.nodeID[xs[i]])
+				alive, err := r.probe(xs[i])
 				outcomes[i] = probeOutcome{alive: alive, err: err, done: true}
 				if err != nil {
 					failed.Store(true)
@@ -92,13 +97,23 @@ func (r *run) dispatch(xs []int) []probeOutcome {
 
 // commit replays a batch's outcomes in slice order — the order the serial
 // traversal would have applied them — so classifications, MPAN candidate
-// sets, and inferred counts evolve identically to Workers=1. The first
+// sets, and inferred counts evolve identically to Workers=1. The first real
 // error in order is returned, matching where a serial run would have
-// stopped.
+// stopped. Graceful-exhaustion outcomes are different: every verdict the
+// pool did land is still committed (they are true database answers, and
+// partialResult only reports what the committed set can guarantee), and the
+// exhaustion sentinel is returned at the end so the caller degrades to a
+// partial result instead of discarding the batch.
 func (r *run) commit(xs []int, outcomes []probeOutcome) error {
+	var exhausted error
 	for i, x := range xs {
 		oc := outcomes[i]
 		if !oc.done {
+			if exhausted != nil {
+				// The pool stopped claiming after a lower-index exhaustion;
+				// later indexes may still carry verdicts, so keep scanning.
+				continue
+			}
 			// Skips happen only after a failure at a lower index (already
 			// returned above) or on cancellation.
 			if err := r.ctx.Err(); err != nil {
@@ -107,11 +122,17 @@ func (r *run) commit(xs []int, outcomes []probeOutcome) error {
 			return fmt.Errorf("core: probe of %s skipped without cause", r.sub.node(x))
 		}
 		if oc.err != nil {
+			if errors.Is(oc.err, errExhausted) {
+				if exhausted == nil {
+					exhausted = oc.err
+				}
+				continue
+			}
 			return oc.err
 		}
 		r.classify(x, oc.alive, false)
 	}
-	return nil
+	return exhausted
 }
 
 // resolveLevel settles one traversal level: the still-unknown nodes of xs
@@ -150,7 +171,7 @@ func (r *run) resolveLevel(xs []int) error {
 // point of these baselines), the pool is bounded by workers, and results
 // merge in MTN order afterwards, so the accumulated Output and the summed
 // probe/inferred counts match the serial loop exactly.
-func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, strategy Strategy, workers int) (traverseResult, int, error) {
+func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, strategy Strategy, workers int, gov *governor) (traverseResult, int, error) {
 	n := len(sub.mtns)
 	results := make([]traverseResult, n)
 	inferredBy := make([]int, n)
@@ -159,7 +180,7 @@ func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle 
 
 	runOne := func(mi int) {
 		r := newRun(sub, oracle, []int{mi})
-		r.ctx, r.workers = ctx, 1 // parallel across MTNs, serial within
+		r.ctx, r.workers, r.gov = ctx, 1, gov // parallel across MTNs, serial within
 		var err error
 		if strategy == BU {
 			err = r.bottomUp(sd)
@@ -168,6 +189,12 @@ func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle 
 		}
 		if err == nil {
 			results[mi], err = r.result()
+		} else if errors.Is(err, errExhausted) {
+			// The shared governor ran dry mid-run: keep the guarantees this
+			// MTN's run established and let the remaining runs proceed — with
+			// no budget left they settle probe-free knowledge (base levels,
+			// pins) and report partial results of their own.
+			results[mi], err = r.partialResult(), nil
 		}
 		inferredBy[mi] = r.inferred
 		errs[mi] = err

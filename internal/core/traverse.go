@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -22,6 +23,12 @@ type traverseResult struct {
 	aliveMTNs []int         // sub indexes, sorted
 	deadMTNs  []int         // sub indexes, sorted
 	mpans     map[int][]int // dead MTN sub index -> sorted MPAN sub indexes
+
+	// Exhaustion bookkeeping, empty for complete runs: unresolved lists the
+	// MTN sub indexes the run never classified, and partial marks dead MTNs
+	// whose MPAN list is guaranteed-but-possibly-incomplete.
+	unresolved []int
+	partial    map[int]bool
 }
 
 // run carries the shared classification state of one traversal: node
@@ -40,6 +47,11 @@ type run struct {
 	// cancellation abandons in-flight batches between probes.
 	ctx     context.Context
 	workers int
+
+	// gov meters every oracle probe (see probe); runs sharing a Debug call
+	// share one governor, so budget and deadline are per-request, not
+	// per-MTN.
+	gov *governor
 
 	status   []status
 	inferred int // classifications that did not execute SQL
@@ -63,6 +75,7 @@ func newRun(sub *sublattice, oracle Oracle, positions []int) *run {
 		mp:      make([]bitset, len(sub.mtns)),
 		ctx:     context.Background(),
 		workers: 1,
+		gov:     newGovernor(context.Background(), context.Background(), 0),
 	}
 	for _, mi := range positions {
 		r.active.set(mi)
@@ -149,12 +162,30 @@ func (r *run) classify(x int, isAlive, inferred bool) {
 	}
 }
 
+// probe resolves one node through the oracle under the run's governor:
+// cancellation and exhaustion are checked (and the budget charged) before
+// the oracle is consulted, and a failure caused by the run's own deadline is
+// converted to the graceful exhaustion sentinel.
+func (r *run) probe(x int) (bool, error) {
+	if err := r.gov.admit(); err != nil {
+		return false, err
+	}
+	alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
+	if err != nil {
+		if gerr := r.gov.graceful(err); gerr != nil {
+			return false, gerr
+		}
+		return false, err
+	}
+	return alive, nil
+}
+
 // evaluate resolves a node's status with an oracle probe (unless known).
 func (r *run) evaluate(x int) error {
 	if r.status[x] != stUnknown {
 		return nil
 	}
-	alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
+	alive, err := r.probe(x)
 	if err != nil {
 		return err
 	}
@@ -317,7 +348,7 @@ func (r *run) returnEverything(sd seed) error {
 		return r.commit(pending, r.dispatch(pending))
 	}
 	for _, x := range pending {
-		alive, err := r.oracle.IsAlive(r.sub.nodeID[x])
+		alive, err := r.probe(x)
 		if err != nil {
 			return err
 		}
@@ -349,6 +380,65 @@ func (r *run) result() (traverseResult, error) {
 	return res, err
 }
 
+// inRegionOf reports whether sub node x belongs to MTN position mi's region
+// (the MTN and its descendant closure).
+func (r *run) inRegionOf(mi, x int) bool {
+	for _, o := range r.sub.owners[x] {
+		if int(o) == mi {
+			return true
+		}
+	}
+	return false
+}
+
+// partialResult assembles what an exhausted traversal can still guarantee.
+// Classified MTNs are reported normally; unclassified ones are listed as
+// unresolved. For a dead MTN, a candidate-MPAN x is reported only when it is
+// *guaranteed* maximal: x itself is classified alive and every strict
+// ancestor of x inside the MTN's region is classified too. (An alive
+// ancestor would already have removed x from the candidate set via rule R1,
+// so a classified ancestor is necessarily dead; an unknown one could still
+// turn out alive and demote x.) Anything excluded marks the MTN partial.
+// Every reported MPAN is therefore also an MPAN of the unbudgeted run — the
+// subset guarantee the degradation property test asserts.
+func (r *run) partialResult() traverseResult {
+	res := traverseResult{mpans: make(map[int][]int), partial: make(map[int]bool)}
+	r.active.forEach(func(mi int) {
+		m := r.sub.mtns[mi]
+		switch r.status[m] {
+		case stAlive:
+			res.aliveMTNs = append(res.aliveMTNs, m)
+		case stDead:
+			res.deadMTNs = append(res.deadMTNs, m)
+			var ps []int
+			incomplete := false
+			r.mp[mi].forEach(func(p int) {
+				if r.status[p] != stAlive {
+					incomplete = true
+					return
+				}
+				for _, a := range r.sub.asc[p] {
+					if r.status[a] == stUnknown && r.inRegionOf(mi, int(a)) {
+						incomplete = true
+						return
+					}
+				}
+				ps = append(ps, p)
+			})
+			res.mpans[m] = ps
+			if incomplete {
+				res.partial[m] = true
+			}
+		default:
+			res.unresolved = append(res.unresolved, m)
+		}
+	})
+	sort.Ints(res.aliveMTNs)
+	sort.Ints(res.deadMTNs)
+	sort.Ints(res.unresolved)
+	return res
+}
+
 // merge folds a single-MTN result into an accumulated one (for the
 // strategies without reuse).
 func (res *traverseResult) merge(one traverseResult) {
@@ -357,13 +447,24 @@ func (res *traverseResult) merge(one traverseResult) {
 	for m, ps := range one.mpans {
 		res.mpans[m] = ps
 	}
+	res.unresolved = append(res.unresolved, one.unresolved...)
+	if len(one.partial) > 0 {
+		if res.partial == nil {
+			res.partial = make(map[int]bool)
+		}
+		for m := range one.partial {
+			res.partial[m] = true
+		}
+	}
 }
 
 // traverse dispatches a Phase 3 strategy over the sub-lattice. workers > 1
 // engages the probe scheduler: within-run level batches for the with-reuse
 // strategies and RE, across-MTN runs for the no-reuse baselines. SBH stays
 // serial regardless — its probe choices depend on every previous verdict.
-func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, opts Options, workers int) (traverseResult, int, error) {
+// Exhaustion of the governor's deadline or budget is not an error: the
+// traversal degrades to whatever partialResult can guarantee.
+func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, opts Options, workers int, gov *governor) (traverseResult, int, error) {
 	inferred := 0
 
 	switch opts.Strategy {
@@ -372,12 +473,12 @@ func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle,
 		// are re-probed for every MTN, which is exactly the redundancy the
 		// with-reuse variants eliminate.
 		if workers > 1 && len(sub.mtns) > 1 {
-			return sys.runMTNsParallel(ctx, sub, oracle, sd, opts.Strategy, workers)
+			return sys.runMTNsParallel(ctx, sub, oracle, sd, opts.Strategy, workers, gov)
 		}
 		acc := traverseResult{mpans: make(map[int][]int)}
 		for mi := range sub.mtns {
 			r := newRun(sub, oracle, []int{mi})
-			r.ctx, r.workers = ctx, workers
+			r.ctx, r.workers, r.gov = ctx, workers, gov
 			var err error
 			if opts.Strategy == BU {
 				err = r.bottomUp(sd)
@@ -385,7 +486,16 @@ func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle,
 				err = r.topDown(sd)
 			}
 			if err != nil {
-				return traverseResult{}, 0, err
+				if !errors.Is(err, errExhausted) {
+					return traverseResult{}, 0, err
+				}
+				// Graceful exhaustion: keep what this MTN's run established
+				// and report the MTNs never reached as unresolved.
+				part := r.partialResult()
+				part.unresolved = append(part.unresolved, sub.mtns[mi+1:]...)
+				acc.merge(part)
+				inferred += r.inferred
+				break
 			}
 			one, err := r.result()
 			if err != nil {
@@ -404,7 +514,7 @@ func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle,
 			all[i] = i
 		}
 		r := newRun(sub, oracle, all)
-		r.ctx, r.workers = ctx, workers
+		r.ctx, r.workers, r.gov = ctx, workers, gov
 		var err error
 		switch opts.Strategy {
 		case BUWR:
@@ -417,7 +527,10 @@ func (sys *System) traverse(ctx context.Context, sub *sublattice, oracle Oracle,
 			err = r.scoreBased(sd, opts.Pa)
 		}
 		if err != nil {
-			return traverseResult{}, 0, err
+			if !errors.Is(err, errExhausted) {
+				return traverseResult{}, 0, err
+			}
+			return r.partialResult(), r.inferred, nil
 		}
 		res, err := r.result()
 		return res, r.inferred, err

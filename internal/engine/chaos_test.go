@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps chaos tests quick without changing attempt semantics.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: 50 * time.Microsecond, MaxDelay: 200 * time.Microsecond}
+
+// TestRetryTransientFault proves a transient failure is absorbed: the query
+// succeeds, costs extra attempts, and returns exactly the fault-free rows.
+func TestRetryTransientFault(t *testing.T) {
+	e := productEngine(t)
+	e.SetRetryPolicy(fastRetry)
+	want := mustQuery(t, e, "SELECT name FROM Item")
+
+	var calls atomic.Int64
+	e.SetFaultInjector(func() error {
+		// Fail the first two attempts; the third (and last) succeeds.
+		if calls.Add(1) <= 2 {
+			return Transient(fmt.Errorf("synthetic I/O hiccup"))
+		}
+		return nil
+	})
+	got, err := e.Query("SELECT name FROM Item")
+	e.SetFaultInjector(nil)
+	if err != nil {
+		t.Fatalf("transient faults should be retried away, got %v", err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows after retries = %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("executions = %d, want 3 (two faults + success)", n)
+	}
+}
+
+// TestRetryGivesUp verifies the attempt bound: a fault that never clears
+// fails the query after exactly MaxAttempts executions.
+func TestRetryGivesUp(t *testing.T) {
+	e := productEngine(t)
+	e.SetRetryPolicy(fastRetry)
+	var calls atomic.Int64
+	e.SetFaultInjector(func() error {
+		calls.Add(1)
+		return Transient(fmt.Errorf("permanent hiccup"))
+	})
+	defer e.SetFaultInjector(nil)
+	if _, err := e.Query("SELECT name FROM Item"); !IsTransient(err) {
+		t.Fatalf("want the transient error to surface after retries, got %v", err)
+	}
+	if n := calls.Load(); n != int64(fastRetry.MaxAttempts) {
+		t.Fatalf("executions = %d, want %d", n, fastRetry.MaxAttempts)
+	}
+}
+
+// TestRetrySkipsNonTransient: a plain error is not retried.
+func TestRetrySkipsNonTransient(t *testing.T) {
+	e := productEngine(t)
+	e.SetRetryPolicy(fastRetry)
+	boom := fmt.Errorf("corrupted page")
+	var calls atomic.Int64
+	e.SetFaultInjector(func() error {
+		calls.Add(1)
+		return boom
+	})
+	defer e.SetFaultInjector(nil)
+	if _, err := e.Query("SELECT name FROM Item"); !errors.Is(err, boom) {
+		t.Fatalf("want the original error, got %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("executions = %d, want 1 (no retry for non-transient)", n)
+	}
+}
+
+// TestRetryRespectsCancellation: cancellation during the backoff sleep
+// returns context.Canceled promptly instead of burning the remaining
+// attempts, and a transient-wrapped context error is never retried.
+func TestRetryRespectsCancellation(t *testing.T) {
+	e := productEngine(t)
+	e.SetRetryPolicy(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Hour, MaxDelay: time.Hour})
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetFaultInjector(func() error {
+		cancel() // fault once, then cancel while SelectContext backs off
+		return Transient(fmt.Errorf("hiccup"))
+	})
+	defer e.SetFaultInjector(nil)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.QueryContext(ctx, "SELECT name FROM Item")
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SelectContext slept through cancellation")
+	}
+
+	if IsTransient(Transient(context.Canceled)) {
+		t.Fatal("a wrapped context error must not count as transient")
+	}
+}

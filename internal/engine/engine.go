@@ -37,6 +37,13 @@ type Engine struct {
 	mu      sync.Mutex
 	ix      *invidx.Index
 	ixSizes map[string]int // per-table row counts when ix was built
+
+	// faults and retry are the resilience hooks of retry.go: an optional
+	// FaultInjector consulted before every Select execution, and the
+	// RetryPolicy governing transient-failure retries. Both atomic so tests
+	// and servers can swap them mid-flight.
+	faults atomic.Value // FaultInjector
+	retry  atomic.Value // RetryPolicy
 }
 
 // New wraps an already-populated database.

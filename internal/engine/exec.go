@@ -536,8 +536,41 @@ func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
 // SelectContext executes a resolved SELECT statement under a context: the
 // deadline is re-checked periodically while join bindings are enumerated, so
 // a cancelled request abandons even a long-running cross product instead of
-// running it to completion.
+// running it to completion. Transient failures (see Transient) are retried
+// with exponential backoff up to the engine's RetryPolicy; the backoff sleep
+// itself is context-aware, so cancellation never waits out a delay.
 func (e *Engine) SelectContext(ctx context.Context, sel *sqltext.Select) (*Result, error) {
+	p := e.retryPolicy()
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		res, err := e.selectOnce(ctx, sel)
+		if err == nil || attempt >= p.MaxAttempts || !IsTransient(err) {
+			return res, err
+		}
+		mSQLRetries.Inc()
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// selectOnce is one execution attempt. The fault hook fires first so chaos
+// tests can fail an attempt before any work happens; a successful attempt is
+// indistinguishable from one that never faulted.
+func (e *Engine) selectOnce(ctx context.Context, sel *sqltext.Select) (*Result, error) {
+	if f := e.faultInjector(); f != nil {
+		if err := f(); err != nil {
+			mFaultsInjected.Inc()
+			return nil, err
+		}
+	}
 	start := time.Now()
 	bq, err := e.resolve(sel)
 	if err != nil {

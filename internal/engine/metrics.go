@@ -14,4 +14,8 @@ var (
 		"SELECT execution latency.", nil)
 	mRowsScanned = obs.Default.Counter("kwsdbg_sql_rows_scanned_total",
 		"Candidate rows visited while enumerating join bindings.")
+	mSQLRetries = obs.Default.Counter("kwsdbg_sql_retries_total",
+		"SELECT execution attempts retried after a transient failure.")
+	mFaultsInjected = obs.Default.Counter("kwsdbg_sql_faults_injected_total",
+		"Execution attempts failed by the chaos fault-injection hook.")
 )

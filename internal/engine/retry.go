@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// This file is the engine's resilience layer: transient execution failures —
+// the kind a networked or disk-backed engine would surface as lock timeouts,
+// connection resets, or page-read hiccups — are retried with exponential
+// backoff instead of failing the probe that triggered them. Faults are
+// injected through a test hook (FaultInjector) because the in-memory engine
+// has no real I/O to fail; the chaos tests use it to prove the system's
+// final output is identical under injected transient fault rates.
+
+// DefaultRetry is the policy used when none has been set: three attempts
+// with a 1ms base backoff doubling up to 50ms.
+var DefaultRetry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+
+// RetryPolicy bounds how hard SelectContext tries in the face of transient
+// failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of executions per Select, including
+	// the first; values below 1 behave as 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it. Zero selects the default.
+	BaseDelay time.Duration
+	// MaxDelay caps the doubling backoff. Zero selects the default.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	return p
+}
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return "transient: " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps an error so SelectContext treats it as retryable. Context
+// cancellation and deadline expiry are never retried, even when wrapped.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// FaultInjector is consulted immediately before every Select execution; a
+// non-nil return fails that execution attempt. Return Transient(...) errors
+// to exercise the retry path. Nil (the default) injects nothing.
+type FaultInjector func() error
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook. Safe to
+// call while Selects are running.
+func (e *Engine) SetFaultInjector(f FaultInjector) { e.faults.Store(f) }
+
+func (e *Engine) faultInjector() FaultInjector {
+	f, _ := e.faults.Load().(FaultInjector)
+	return f
+}
+
+// SetRetryPolicy replaces the engine's retry policy. Safe to call while
+// Selects are running.
+func (e *Engine) SetRetryPolicy(p RetryPolicy) { e.retry.Store(p.normalized()) }
+
+func (e *Engine) retryPolicy() RetryPolicy {
+	if p, ok := e.retry.Load().(RetryPolicy); ok {
+		return p
+	}
+	return DefaultRetry.normalized()
+}

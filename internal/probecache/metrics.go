@@ -11,8 +11,11 @@ var (
 		"Aliveness probes answered from the cross-request cache.")
 	mMisses = obs.Default.Counter("kwsdbg_probecache_misses_total",
 		"Aliveness probes that missed the cross-request cache (including stale and expired entries).")
-	mEvictions = obs.Default.Counter("kwsdbg_probecache_evictions_total",
-		"Cache entries dropped by LRU pressure, TTL expiry, or generation staleness.")
-	mEntries = obs.Default.Gauge("kwsdbg_probecache_entries",
+	mEvictionsVec = obs.Default.CounterVec("kwsdbg_probecache_evictions_total",
+		"Cache entries dropped, by reason: capacity = LRU pressure (cache too small), stale = TTL expiry or generation supersession (data churning).",
+		"reason")
+	mEvictionsCapacity = mEvictionsVec.With("capacity")
+	mEvictionsStale    = mEvictionsVec.With("stale")
+	mEntries           = obs.Default.Gauge("kwsdbg_probecache_entries",
 		"Verdicts currently held by the cache.")
 )

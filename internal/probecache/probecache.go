@@ -43,10 +43,17 @@ type Config struct {
 
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {
-	Hits      uint64
-	Misses    uint64
-	Evictions uint64
-	Entries   int
+	Hits   uint64
+	Misses uint64
+	// EvictionsCapacity counts entries rotated out by LRU pressure — the
+	// "cache too small" signal — while EvictionsStale counts entries dropped
+	// on contact because their generation was superseded or their TTL
+	// expired — the "data churning" signal. Evictions is their sum, kept for
+	// callers that do not care about the split.
+	EvictionsCapacity uint64
+	EvictionsStale    uint64
+	Evictions         uint64
+	Entries           int
 	// Generation is the current data generation; entries stored under
 	// older generations can never hit again.
 	Generation uint64
@@ -69,7 +76,8 @@ type Cache struct {
 	items map[string]*list.Element
 	gen   uint64
 
-	hits, misses, evictions uint64
+	hits, misses              uint64
+	evictCapacity, evictStale uint64
 
 	// now is the clock, injectable for TTL tests.
 	now func() time.Time
@@ -149,7 +157,7 @@ func (c *Cache) Get(key string) (alive, ok bool) {
 	}
 	en := el.Value.(*entry)
 	if en.gen != c.gen || (!en.expires.IsZero() && c.now().After(en.expires)) {
-		c.removeLocked(el)
+		c.removeLocked(el, true)
 		c.misses++
 		mMisses.Inc()
 		return false, false
@@ -180,18 +188,26 @@ func (c *Cache) Put(key string, alive bool) {
 	mEntries.Set(float64(len(c.items)))
 	if c.cfg.MaxEntries > 0 && len(c.items) > c.cfg.MaxEntries {
 		if back := c.ll.Back(); back != nil {
-			c.removeLocked(back)
+			c.removeLocked(back, false)
 		}
 	}
 }
 
-// removeLocked drops one entry; the caller holds c.mu.
-func (c *Cache) removeLocked(el *list.Element) {
+// removeLocked drops one entry; the caller holds c.mu. stale separates
+// evicted-on-contact entries (superseded generation or expired TTL) from
+// LRU-capacity rotation, so the counters can tell "data churning" apart from
+// "cache too small".
+func (c *Cache) removeLocked(el *list.Element, stale bool) {
 	en := el.Value.(*entry)
 	c.ll.Remove(el)
 	delete(c.items, en.key)
-	c.evictions++
-	mEvictions.Inc()
+	if stale {
+		c.evictStale++
+		mEvictionsStale.Inc()
+	} else {
+		c.evictCapacity++
+		mEvictionsCapacity.Inc()
+	}
 	mEntries.Set(float64(len(c.items)))
 }
 
@@ -217,10 +233,12 @@ func (c *Cache) Snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		Entries:    len(c.items),
-		Generation: c.gen,
+		Hits:              c.hits,
+		Misses:            c.misses,
+		EvictionsCapacity: c.evictCapacity,
+		EvictionsStale:    c.evictStale,
+		Evictions:         c.evictCapacity + c.evictStale,
+		Entries:           len(c.items),
+		Generation:        c.gen,
 	}
 }

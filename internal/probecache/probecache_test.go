@@ -111,6 +111,48 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestTTLBoundary pins the exact expiry semantics: an entry touched exactly
+// at its deadline still hits (expiry is strictly-after), one nanosecond
+// later it is a stale-eviction miss — and the eviction is counted as stale,
+// not capacity.
+func TestTTLBoundary(t *testing.T) {
+	c := New(Config{TTL: time.Minute})
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", true)
+
+	now = now.Add(time.Minute) // exactly the deadline
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry expiring exactly at the deadline must still hit")
+	}
+
+	now = now.Add(time.Nanosecond) // one past
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry must be expired one nanosecond past the deadline")
+	}
+	st := c.Snapshot()
+	if st.EvictionsStale != 1 || st.EvictionsCapacity != 0 {
+		t.Fatalf("stats = %+v; want exactly one stale eviction and no capacity evictions", st)
+	}
+	if st.Evictions != st.EvictionsStale+st.EvictionsCapacity {
+		t.Fatalf("Evictions %d is not the sum of its parts in %+v", st.Evictions, st)
+	}
+}
+
+// TestEvictionSplit separates the two eviction reasons end to end: LRU
+// rotation counts as capacity, generation supersession as stale.
+func TestEvictionSplit(t *testing.T) {
+	c := New(Config{MaxEntries: 1})
+	c.Put("a", true)
+	c.Put("b", true) // rotates a out: capacity
+	c.Bump()
+	c.Get("b") // stale on contact: stale
+	st := c.Snapshot()
+	if st.EvictionsCapacity != 1 || st.EvictionsStale != 1 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v; want 1 capacity + 1 stale = 2 evictions", st)
+	}
+}
+
 func TestKeyBindingSignature(t *testing.T) {
 	kws := []string{"widom", "trio"}
 	// Same label, same copies, same keywords: one key.

@@ -39,6 +39,12 @@ func Text(w io.Writer, out *core.Output, opts Options) error {
 		len(out.Answers), len(out.NonAnswers), out.Stats.SQLExecuted, out.Stats.SQLTime); err != nil {
 		return err
 	}
+	if out.Incomplete {
+		if _, err := fmt.Fprintf(w, "INCOMPLETE: %s exhausted; everything below is guaranteed, %d candidate networks left unclassified\n",
+			out.IncompleteReason, len(out.Unclassified)); err != nil {
+			return err
+		}
+	}
 	for _, a := range out.Answers {
 		if _, err := fmt.Fprintf(w, "ALIVE %s\n", a.Tree); err != nil {
 			return err
@@ -69,6 +75,15 @@ func Text(w io.Writer, out *core.Output, opts Options) error {
 			}
 			shown++
 		}
+		if na.Incomplete {
+			fmt.Fprintf(w, "      (explanation incomplete: budget exhausted, more maximal alive sub-queries may exist)\n")
+		}
+	}
+	for _, u := range out.Unclassified {
+		if _, err := fmt.Fprintf(w, "UNKNOWN %s (not classified before %s exhausted)\n",
+			u.Tree, out.IncompleteReason); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -98,7 +113,14 @@ type jsonOutput struct {
 	NonKeywords []string    `json:"non_keywords,omitempty"`
 	Answers     []jsonQuery `json:"answers"`
 	NonAnswers  []jsonDead  `json:"non_answers"`
-	Stats       jsonStats   `json:"stats"`
+	// Incomplete marks a partial result: the run's deadline or probe budget
+	// ran out. incomplete_reason is "probe_budget" or "deadline", and
+	// unclassified lists the candidate networks never settled. Everything in
+	// answers/non_answers is still a true classification.
+	Incomplete       bool        `json:"incomplete,omitempty"`
+	IncompleteReason string      `json:"incomplete_reason,omitempty"`
+	Unclassified     []jsonQuery `json:"unclassified,omitempty"`
+	Stats            jsonStats   `json:"stats"`
 	// Trace is the per-request span tree, present when the caller traced the
 	// run (the server's ?trace=1).
 	Trace *obs.Span `json:"trace,omitempty"`
@@ -114,6 +136,9 @@ type jsonQuery struct {
 type jsonDead struct {
 	Query jsonQuery   `json:"query"`
 	MPANs []jsonQuery `json:"mpans"`
+	// BudgetExhausted marks an explanation the governor cut short: the MPANs
+	// listed are guaranteed, but more may exist.
+	BudgetExhausted bool `json:"budget_exhausted,omitempty"`
 }
 
 type jsonStats struct {
@@ -155,11 +180,13 @@ func JSONOpts(w io.Writer, out *core.Output, opts JSONOptions) error {
 		return jq
 	}
 	jo := jsonOutput{
-		Keywords:    out.Keywords,
-		NonKeywords: out.NonKeywords,
-		Answers:     []jsonQuery{},
-		NonAnswers:  []jsonDead{},
-		Trace:       opts.Trace,
+		Keywords:         out.Keywords,
+		NonKeywords:      out.NonKeywords,
+		Answers:          []jsonQuery{},
+		NonAnswers:       []jsonDead{},
+		Incomplete:       out.Incomplete,
+		IncompleteReason: out.IncompleteReason,
+		Trace:            opts.Trace,
 		Stats: jsonStats{
 			Strategy:     out.Stats.Strategy.String(),
 			LatticeNodes: out.Stats.LatticeNodes,
@@ -176,11 +203,14 @@ func JSONOpts(w io.Writer, out *core.Output, opts JSONOptions) error {
 		jo.Answers = append(jo.Answers, conv(a))
 	}
 	for _, na := range out.NonAnswers {
-		jd := jsonDead{Query: conv(na.Query), MPANs: []jsonQuery{}}
+		jd := jsonDead{Query: conv(na.Query), MPANs: []jsonQuery{}, BudgetExhausted: na.Incomplete}
 		for _, p := range na.MPANs {
 			jd.MPANs = append(jd.MPANs, conv(p))
 		}
 		jo.NonAnswers = append(jo.NonAnswers, jd)
+	}
+	for _, u := range out.Unclassified {
+		jo.Unclassified = append(jo.Unclassified, conv(u))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

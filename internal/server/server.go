@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0]
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200]
 //	GET /search?q=red+candle[&k=10]
 //	GET /metrics
 //	GET /healthz
@@ -15,6 +15,12 @@
 // response embeds the request's span tree — per-phase wall clock plus the
 // Phase 3 probe accounting — under "trace". Every request is logged
 // structurally through log/slog with a request ID, status, and duration.
+//
+// Resource governance: /debug and /search pass through an admission
+// semaphore (Server.MaxInflight) and are shed with 429 + Retry-After when
+// the server is saturated. deadline_ms and budget bound one request's
+// probing; when either runs out the response is still HTTP 200, with
+// "incomplete": true and the partial classification (see internal/report).
 package server
 
 import (
@@ -27,6 +33,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +68,20 @@ type Server struct {
 	// Logger receives one structured line per request plus response-encoding
 	// failures; nil means slog.Default().
 	Logger *slog.Logger
+	// MaxInflight caps how many /debug and /search requests may run probing
+	// work concurrently; <= 0 disables admission control. Requests beyond the
+	// cap wait up to AdmissionWait for a slot and are then shed with 429.
+	MaxInflight int
+	// AdmissionWait bounds how long an over-limit request queues for an
+	// admission slot; <= 0 means DefaultAdmissionWait.
+	AdmissionWait time.Duration
+	// ProbeBudget is the server-wide cap on probes per /debug request; <= 0
+	// means unlimited. Requests can tighten it with ?budget=N but never
+	// exceed it.
+	ProbeBudget int
+
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 // New builds the handler around a ready system.
@@ -199,11 +220,47 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	workers := s.Workers
 	if raw := r.URL.Query().Get("workers"); raw != "" {
 		workers, err = strconv.Atoi(raw)
-		if err != nil || workers < 1 || workers > 64 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q (want 1..64)", raw))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q (want an integer)", raw))
 			return
 		}
+		// Out-of-range values are clamped into [1, core.MaxWorkers] rather
+		// than rejected: the cap is a server-side resource bound, not part of
+		// the request contract.
+		workers = core.ClampWorkers(workers)
 	}
+	// deadline_ms bounds this request's probing wall clock; the server
+	// timeout remains the ceiling.
+	var deadline time.Duration
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad deadline_ms parameter %q (want a positive integer)", raw))
+			return
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+		if s.Timeout > 0 && deadline > s.Timeout {
+			deadline = s.Timeout
+		}
+	}
+	// budget tightens the server-wide probe allowance; it can never raise it.
+	budget := s.ProbeBudget
+	if raw := r.URL.Query().Get("budget"); raw != "" {
+		b, err := strconv.Atoi(raw)
+		if err != nil || b <= 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad budget parameter %q (want a positive integer)", raw))
+			return
+		}
+		if budget <= 0 || b < budget {
+			budget = b
+		}
+	}
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	ctx, cancel := s.context(r)
 	defer cancel()
 	var root *obs.Span
@@ -214,11 +271,16 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		Strategy:    strat,
 		Workers:     workers,
 		BypassCache: r.URL.Query().Get("cache") == "0",
+		Deadline:    deadline,
+		ProbeBudget: budget,
 	})
 	root.End()
 	if err != nil {
 		s.writeError(w, http.StatusUnprocessableEntity, err)
 		return
+	}
+	if out.Incomplete {
+		mBudgetExhausted.With(out.IncompleteReason).Inc()
 	}
 	opts := report.JSONOptions{ShowSQL: r.URL.Query().Get("sql") == "1", Trace: root}
 	var buf bytes.Buffer
@@ -259,6 +321,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	release, ok := s.admit(r.Context())
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
 	k := 10
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		k, err = strconv.Atoi(raw)
@@ -299,11 +367,13 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if c := s.sys.ProbeCache(); c != nil {
 		st := c.Snapshot()
 		body["probe_cache"] = map[string]any{
-			"entries":    st.Entries,
-			"hits":       st.Hits,
-			"misses":     st.Misses,
-			"evictions":  st.Evictions,
-			"generation": st.Generation,
+			"entries":            st.Entries,
+			"hits":               st.Hits,
+			"misses":             st.Misses,
+			"evictions":          st.Evictions,
+			"evictions_capacity": st.EvictionsCapacity,
+			"evictions_stale":    st.EvictionsStale,
+			"generation":         st.Generation,
 		}
 	}
 	s.writeJSON(w, http.StatusOK, body)

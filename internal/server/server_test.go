@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -302,9 +303,19 @@ func TestDebugWorkersAndCache(t *testing.T) {
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("workers=banana: status = %d, want 400", rec.Code)
 	}
-	rec, _ = get(t, s, "/debug?q=candle&workers=9000")
-	if rec.Code != http.StatusBadRequest {
-		t.Errorf("workers=9000: status = %d, want 400", rec.Code)
+	// Out-of-range worker counts are clamped, not rejected: the cap is a
+	// server resource bound, and the scheduler's output is identical at any
+	// worker count anyway.
+	body, st9000 := stats("/debug?q=saffron+scented+candle&strategy=BUWR&workers=9000&cache=0")
+	if st9000["sql_executed"] != st0["sql_executed"] {
+		t.Errorf("workers=9000: sql_executed = %v, want %v", st9000["sql_executed"], st0["sql_executed"])
+	}
+	if !reflect.DeepEqual(body["answers"], base["answers"]) {
+		t.Error("workers=9000: output diverged from serial run")
+	}
+	rec, _ = get(t, s, "/debug?q=saffron+scented+candle&workers=-2")
+	if rec.Code != http.StatusOK {
+		t.Errorf("workers=-2: status = %d, want 200 (clamped to 1)", rec.Code)
 	}
 }
 
@@ -325,5 +336,118 @@ func TestHealthProbeCacheStats(t *testing.T) {
 	}
 	if pc["entries"].(float64) <= 0 || pc["hits"].(float64) <= 0 {
 		t.Errorf("probe_cache stats = %v, want entries and hits > 0", pc)
+	}
+	for _, key := range []string{"evictions", "evictions_capacity", "evictions_stale"} {
+		if _, present := pc[key]; !present {
+			t.Errorf("probe_cache stats missing %q: %v", key, pc)
+		}
+	}
+}
+
+// TestAdmissionShedding saturates the admission semaphore and checks the
+// overload path: 429, a Retry-After hint, and the shed counter moving. Once
+// the slot frees, the same request must be admitted again.
+func TestAdmissionShedding(t *testing.T) {
+	s := testServer(t)
+	s.MaxInflight = 1
+	s.AdmissionWait = 5 * time.Millisecond
+
+	release, ok := s.admit(context.Background())
+	if !ok {
+		t.Fatal("first admission into an idle server failed")
+	}
+	shedBefore := mShed.Value()
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated /debug: status = %d (%v), want 429", rec.Code, body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	if body["error"] == "" {
+		t.Error("429 without an error message")
+	}
+	if got := mShed.Value(); got != shedBefore+1 {
+		t.Errorf("kwsdbg_shed_total = %v, want %v", got, shedBefore+1)
+	}
+	rec, _ = get(t, s, "/search?q=scented+candle")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Errorf("saturated /search: status = %d, want 429", rec.Code)
+	}
+
+	release()
+	rec, body = get(t, s, "/debug?q=saffron+scented+candle")
+	if rec.Code != http.StatusOK {
+		t.Errorf("after release: status = %d (%v), want 200", rec.Code, body)
+	}
+	if mInflight.Value() != 0 {
+		t.Errorf("kwsdbg_inflight = %v after all requests finished, want 0", mInflight.Value())
+	}
+}
+
+// TestDebugBudgetParam drives the partial-result contract end to end: a
+// starved budget yields HTTP 200 with incomplete=true, a reason, sql_executed
+// within the budget, and the unclassified remainder listed — and the request
+// parameter can only tighten the server-wide cap, never raise it.
+func TestDebugBudgetParam(t *testing.T) {
+	s := testServer(t)
+	exhaustedBefore := mBudgetExhausted.With(core.ReasonProbeBudget).Value()
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle&strategy=RE&budget=1&cache=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("budget=1: status = %d (%v), want 200 with a partial result", rec.Code, body)
+	}
+	if body["incomplete"] != true || body["incomplete_reason"] != core.ReasonProbeBudget {
+		t.Fatalf("budget=1: incomplete = %v / %v", body["incomplete"], body["incomplete_reason"])
+	}
+	stats := body["stats"].(map[string]any)
+	if stats["sql_executed"].(float64) > 1 {
+		t.Errorf("budget=1: sql_executed = %v, want <= 1", stats["sql_executed"])
+	}
+	if un, _ := body["unclassified"].([]any); len(un) == 0 {
+		t.Errorf("budget=1: no unclassified queries in %v", body)
+	}
+	if got := mBudgetExhausted.With(core.ReasonProbeBudget).Value(); got != exhaustedBefore+1 {
+		t.Errorf("kwsdbg_probe_budget_exhausted_total = %v, want %v", got, exhaustedBefore+1)
+	}
+
+	// A generous budget completes normally.
+	rec, body = get(t, s, "/debug?q=saffron+scented+candle&strategy=RE&budget=100000&cache=0")
+	if rec.Code != http.StatusOK || body["incomplete"] == true {
+		t.Fatalf("budget=100000: status = %d, incomplete = %v", rec.Code, body["incomplete"])
+	}
+
+	// The request cannot raise the server-wide cap.
+	s.ProbeBudget = 1
+	rec, body = get(t, s, "/debug?q=saffron+scented+candle&strategy=RE&budget=100000&cache=0")
+	if rec.Code != http.StatusOK || body["incomplete"] != true {
+		t.Fatalf("server cap 1, budget=100000: status = %d, incomplete = %v (the param must not loosen the cap)",
+			rec.Code, body["incomplete"])
+	}
+	if st := body["stats"].(map[string]any); st["sql_executed"].(float64) > 1 {
+		t.Errorf("server cap 1: sql_executed = %v, want <= 1", st["sql_executed"])
+	}
+}
+
+// TestGovernanceParamValidation rejects malformed deadline_ms and budget
+// values outright; governance parameters must never fail open.
+func TestGovernanceParamValidation(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/debug?q=candle&deadline_ms=abc",
+		"/debug?q=candle&deadline_ms=0",
+		"/debug?q=candle&deadline_ms=-50",
+		"/debug?q=candle&budget=abc",
+		"/debug?q=candle&budget=0",
+		"/debug?q=candle&budget=-3",
+	} {
+		rec, body := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s: status = %d (%v), want 400", path, rec.Code, body)
+		}
+	}
+	// A generous deadline (clamped by the server timeout) completes normally.
+	rec, body := get(t, s, "/debug?q=saffron+scented+candle&deadline_ms=60000")
+	if rec.Code != http.StatusOK || body["incomplete"] == true {
+		t.Errorf("deadline_ms=60000: status = %d, incomplete = %v", rec.Code, body["incomplete"])
 	}
 }

@@ -14,8 +14,9 @@ test:
 	$(GO) test ./...
 
 # The observability layer, the server middleware, the core pipeline, the
-# engine, and the probe cache are the concurrency-sensitive packages; run
-# them under the race detector.
+# engine (including the plan cache under concurrent Prepare/Select/Insert),
+# and the probe cache are the concurrency-sensitive packages; run them under
+# the race detector.
 race:
 	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache
 
@@ -31,10 +32,16 @@ experiments:
 chaos:
 	$(GO) test -count=5 -run 'Chaos|Fault|Retry|Budget|Deadline|Cancel' ./internal/engine ./internal/core
 
-# Probe scheduler + cache sweep and the budget degradation curve: renders the
-# tables to stdout and writes the machine-readable reports (ns/op, probes/op,
-# speedup, warm-cache hit rate at workers=1,2,4,8; MPAN recall vs budget
-# fraction) to BENCH_probe.json and BENCH_degrade.json.
+# Probe scheduler + cache sweep, the budget degradation curve, and the
+# prepared-plan comparison: renders the tables to stdout and writes the
+# machine-readable reports (ns/op, probes/op, speedup, warm-cache hit rate at
+# workers=1,2,4,8; MPAN recall vs budget fraction; text vs prepared ns/probe
+# cold and warm) to BENCH_probe.json, BENCH_degrade.json, and BENCH_plan.json.
+# GOMAXPROCS is pinned so the speedup columns are comparable across hosts;
+# every report records both the requested and effective value.
+BENCH_GOMAXPROCS ?= 4
 bench:
-	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade \
-		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan \
+		-gomaxprocs $(BENCH_GOMAXPROCS) \
+		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json \
+		-plan-json BENCH_plan.json

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,16 +32,21 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "directory for persisted lattices (skips regeneration on reruns)")
 	probeJSON := flag.String("probe-json", "", "path where the 'probe' step writes its JSON report")
 	degradeJSON := flag.String("degrade-json", "", "path where the 'degrade' step writes its JSON report")
+	planJSON := flag.String("plan-json", "", "path where the 'plan' step writes its JSON report")
+	procs := flag.Int("gomaxprocs", 0, "set GOMAXPROCS before measuring (0 = leave the runtime default); recorded in every JSON report")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
 
-	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *verbose); err != nil {
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *planJSON, *procs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON string, verbose bool) error {
+func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON, planJSON string, procs int, verbose bool) error {
 	if maxLevel < 3 {
 		return fmt.Errorf("-maxlevel must be >= 3")
 	}
@@ -63,6 +69,7 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, p
 		return err
 	}
 	env.CacheDir = cacheDir
+	env.Procs = procs
 	fmt.Fprintf(w, "dataset: %d tuples (scale %v, seed %d); keyword slots 3\n\n",
 		env.Engine().Database().TotalRows(), scale, seed)
 
@@ -134,6 +141,22 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, p
 					return nil, err
 				}
 				if err := os.WriteFile(degradeJSON, append(body, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}},
+		step{"plan", func() (*bench.Table, error) {
+			t, rep, err := bench.PlanSweep(env, mid, []int{1, 4, 8}, 7)
+			if err != nil {
+				return nil, err
+			}
+			if planJSON != "" {
+				body, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(planJSON, append(body, '\n'), 0o644); err != nil {
 					return nil, err
 				}
 			}

@@ -58,6 +58,7 @@ func main() {
 	retryMax := flag.Int("retry-max", engine.DefaultRetry.MaxAttempts, "SQL executions per probe on transient failures, including the first (1 = no retries)")
 	cacheSize := flag.Int("probe-cache-size", probecache.DefaultMaxEntries, "cross-request probe cache entries (0 disables the cache, negative = unbounded)")
 	cacheTTL := flag.Duration("probe-cache-ttl", 0, "probe cache entry lifetime (0 = no TTL)")
+	planCacheSize := flag.Int("plan-cache-size", engine.DefaultPlanCacheSize, "compiled probe-plan cache entries, per path (0 disables, negative = unbounded)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -75,6 +76,7 @@ func main() {
 		timeout: *timeout, workers: *workers,
 		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
 		maxInflight: *maxInflight, probeBudget: *probeBudget, retryMax: *retryMax,
+		planCacheSize: *planCacheSize,
 	}
 	if err := run(logger, cfg); err != nil {
 		logger.Error("fatal", slog.String("error", err.Error()))
@@ -95,6 +97,7 @@ type serveConfig struct {
 	maxInflight     int
 	probeBudget     int
 	retryMax        int
+	planCacheSize   int
 }
 
 func run(logger *slog.Logger, cfg serveConfig) error {
@@ -112,6 +115,9 @@ func run(logger *slog.Logger, cfg serveConfig) error {
 	}
 	if cfg.retryMax > 0 {
 		eng.SetRetryPolicy(engine.RetryPolicy{MaxAttempts: cfg.retryMax})
+	}
+	if cfg.planCacheSize != engine.DefaultPlanCacheSize {
+		sys.SetPlanCacheSize(cfg.planCacheSize)
 	}
 	srv := server.New(sys)
 	srv.Timeout = timeout

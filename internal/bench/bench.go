@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -45,6 +46,39 @@ func (t *Table) Render() string {
 	return sb.String()
 }
 
+// Parallelism qualifies every BENCH_*.json artifact: the parallelism the
+// harness asked for, the parallelism the runtime actually ran with, and the
+// host's core count — without which a speedup column cannot be read. The
+// JSON field names predate this struct (BENCH_probe.json carried gomaxprocs
+// and num_cpu from the start), so they are preserved.
+type Parallelism struct {
+	// GOMAXPROCS is the effective value at measurement time.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GOMAXPROCSRequested is what the harness was asked to set (the
+	// -gomaxprocs flag); 0 means the runtime default was left alone.
+	GOMAXPROCSRequested int `json:"gomaxprocs_requested,omitempty"`
+	// NumCPU is the host's logical core count.
+	NumCPU int `json:"num_cpu"`
+	// Warning flags measurements whose parallel columns are unreliable —
+	// set whenever NumCPU == 1, where worker counts beyond one can only
+	// timeslice.
+	Warning string `json:"warning,omitempty"`
+}
+
+// CurrentParallelism snapshots the runtime, recording the requested value
+// alongside what actually took effect.
+func CurrentParallelism(requested int) Parallelism {
+	p := Parallelism{
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		GOMAXPROCSRequested: requested,
+		NumCPU:              runtime.NumCPU(),
+	}
+	if p.NumCPU == 1 {
+		p.Warning = "num_cpu == 1: worker counts beyond 1 only timeslice; treat speedup columns as noise"
+	}
+	return p
+}
+
 // Env is the shared experiment environment: one synthetic DBLife database
 // plus lazily built debuggers per lattice depth. Slots are capped at the
 // workload's three keywords, as discussed in DESIGN.md.
@@ -54,7 +88,10 @@ type Env struct {
 	// repeated experiment runs skip Phase 0 — the level-7 lattice takes
 	// tens of seconds to generate and under two to load.
 	CacheDir string
-	eng      *engine.Engine
+	// Procs is the GOMAXPROCS value the harness was asked to apply (0 =
+	// untouched); it flows into every report's Parallelism block.
+	Procs int
+	eng   *engine.Engine
 
 	mu      sync.Mutex
 	systems map[int]*core.System // keyed by maxJoins

@@ -36,10 +36,13 @@ type DegradePoint struct {
 // the budget-versus-recall degradation curve the resource governor promises
 // ("partial answers degrade gracefully, they do not disappear").
 type DegradeReport struct {
-	Level    int            `json:"level"`
-	Strategy string         `json:"strategy"`
-	Queries  int            `json:"queries"`
-	Points   []DegradePoint `json:"points"`
+	Level    int    `json:"level"`
+	Strategy string `json:"strategy"`
+	Queries  int    `json:"queries"`
+	// Parallelism records the measurement conditions, like every other
+	// BENCH_*.json; the degradation curve itself is worker-independent.
+	Parallelism
+	Points []DegradePoint `json:"points"`
 }
 
 // DegradeSweep measures how explanation quality decays as the per-request
@@ -54,7 +57,7 @@ func DegradeSweep(env *Env, level int, fracs []float64) (*Table, *DegradeReport,
 		return nil, nil, err
 	}
 	queries := dblife.Workload()
-	rep := &DegradeReport{Level: level, Strategy: core.SBH.String(), Queries: len(queries)}
+	rep := &DegradeReport{Level: level, Strategy: core.SBH.String(), Queries: len(queries), Parallelism: CurrentParallelism(env.Procs)}
 
 	type truth struct {
 		keywords []string

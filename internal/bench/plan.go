@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+)
+
+// PlanPoint is one worker count's text-path versus prepared-path probe cost
+// over the workload, cold (plan caches purged) and warm (caches populated by
+// a full prior pass). Costs are probe-servicing nanoseconds per executed
+// probe — the oracle's SQLTime, which times render+execute on the text path
+// and handle+execute on the prepared path — so the comparison isolates the
+// probe pipeline from the phases and scheduler overhead both paths share.
+type PlanPoint struct {
+	Workers int `json:"workers"`
+	// Text path: rendered SQL through database/sql. Warm still benefits
+	// from the engine's canonical-SQL plan cache (parse and resolve are
+	// skipped); the per-probe render and driver round trip remain. Warm
+	// figures are the fastest of `rounds` passes; cold is a single pass.
+	TextColdNsPerProbe float64 `json:"text_cold_ns_per_probe"`
+	TextWarmNsPerProbe float64 `json:"text_warm_ns_per_probe"`
+	// Prepared path: compiled handles through the probe-handle cache plus
+	// the per-run candidate-set cache. Cold pays one compile per distinct
+	// probe shape; warm is the steady server state.
+	PreparedColdNsPerProbe float64 `json:"prepared_cold_ns_per_probe"`
+	PreparedWarmNsPerProbe float64 `json:"prepared_warm_ns_per_probe"`
+	// WarmSpeedup is TextWarmNsPerProbe / PreparedWarmNsPerProbe — the
+	// headline number: how much faster a steady-state probe is once the SQL
+	// text path is skipped entirely.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// ProbesPerOp is probes per Debug call; identical on both paths by the
+	// equivalence property (the sweep fails if they ever diverge).
+	ProbesPerOp float64 `json:"probes_per_op"`
+	// CandSetHitRate is the fraction of candidate-set lookups answered from
+	// the run-shared cache, measured on the cold prepared pass — the pass
+	// where planning happens. Warm handles keep their plans (they replan
+	// only on a data-version bump), so a warm pass does no lookups at all.
+	CandSetHitRate float64 `json:"candset_hit_rate"`
+}
+
+// PlanReport is the machine-readable artifact behind BENCH_plan.json.
+type PlanReport struct {
+	Level           int    `json:"level"`
+	Strategy        string `json:"strategy"`
+	Rounds          int    `json:"rounds"`
+	QueriesPerRound int    `json:"queries_per_round"`
+	Parallelism
+	Points []PlanPoint `json:"points"`
+}
+
+// PlanSweep compares the two probe execution paths across worker counts. The
+// verdict cache is bypassed throughout — every probe must actually execute,
+// or the comparison would measure cache lookups — and the plan caches are
+// purged before each cold pass and left populated for the warm ones. RE is
+// the probing strategy for the same reason ProbeSweep uses it: the largest
+// independent batches, the most probes per op.
+func PlanSweep(env *Env, level int, workers []int, rounds int) (*Table, *PlanReport, error) {
+	sys, err := env.System(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := dblife.Workload()
+	rep := &PlanReport{
+		Level:           level,
+		Strategy:        core.RE.String(),
+		Rounds:          rounds,
+		QueriesPerRound: len(queries),
+		Parallelism:     CurrentParallelism(env.Procs),
+	}
+
+	// One pass over the workload on one path; returns mean ns per executed
+	// probe, probes per op, and the candidate-set hit rate.
+	pass := func(w int, text bool, passes int) (nsPerProbe, probesPerOp, candRate float64, err error) {
+		var ops, probes, candHits, candMisses int
+		var probeNanos time.Duration
+		for p := 0; p < passes; p++ {
+			for _, q := range queries {
+				out, err := sys.Debug(q.Keywords, core.Options{
+					Strategy: core.RE, Workers: w, BypassCache: true, TextProbes: text,
+				})
+				if err != nil {
+					return 0, 0, 0, fmt.Errorf("bench: plan sweep %s workers=%d: %w", q.ID, w, err)
+				}
+				ops++
+				probes += out.Stats.SQLExecuted
+				probeNanos += out.Stats.SQLTime
+				candHits += out.Stats.CandSetHits
+				candMisses += out.Stats.CandSetMisses
+			}
+		}
+		if probes == 0 {
+			return 0, 0, 0, fmt.Errorf("bench: plan sweep executed no probes")
+		}
+		if lookups := candHits + candMisses; lookups > 0 {
+			candRate = float64(candHits) / float64(lookups)
+		}
+		return float64(probeNanos.Nanoseconds()) / float64(probes), float64(probes) / float64(ops), candRate, nil
+	}
+
+	// warm repeats the pass `rounds` times against populated caches and keeps
+	// the fastest round: the minimum is the standard low-variance estimator
+	// for a fixed workload — any GC pause or scheduler burst can only slow a
+	// round down, never speed it up.
+	warm := func(w int, text bool) (nsPerProbe, probesPerOp float64, err error) {
+		best := math.Inf(1)
+		for i := 0; i < rounds; i++ {
+			ns, ppo, _, err := pass(w, text, 1)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ns < best {
+				best = ns
+			}
+			probesPerOp = ppo
+		}
+		return best, probesPerOp, nil
+	}
+
+	// Untimed warmup: the inverted index builds lazily on the first Debug,
+	// and its cost must not land in the first measured pass.
+	if _, _, _, err := pass(workers[0], true, 1); err != nil {
+		return nil, nil, err
+	}
+
+	for _, w := range workers {
+		pt := PlanPoint{Workers: w}
+		var textProbes, prepProbes float64
+
+		sys.PurgePlanCaches()
+		pt.TextColdNsPerProbe, _, _, err = pass(w, true, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt.TextWarmNsPerProbe, textProbes, err = warm(w, true)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		sys.PurgePlanCaches()
+		pt.PreparedColdNsPerProbe, _, pt.CandSetHitRate, err = pass(w, false, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt.PreparedWarmNsPerProbe, prepProbes, err = warm(w, false)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// The equivalence property, enforced where it is cheapest to check:
+		// both paths must spend exactly the same probes on the same workload.
+		if textProbes != prepProbes {
+			return nil, nil, fmt.Errorf("bench: probe counts diverged between paths at workers=%d: text %.1f, prepared %.1f",
+				w, textProbes, prepProbes)
+		}
+		pt.ProbesPerOp = prepProbes
+		if pt.PreparedWarmNsPerProbe > 0 {
+			pt.WarmSpeedup = pt.TextWarmNsPerProbe / pt.PreparedWarmNsPerProbe
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	t := &Table{
+		ID:    "plan",
+		Title: fmt.Sprintf("prepared-probe pipeline at level %d (%s, %d rounds x %d queries)", level, rep.Strategy, rounds, len(queries)),
+		Columns: []string{"workers", "text_cold", "text_warm", "prep_cold", "prep_warm",
+			"warm_speedup", "candset_hit_rate"},
+		Notes: fmt.Sprintf("probe-servicing ns per executed probe (render/handle + execute), verdict cache bypassed; cold = plan caches purged (candset rate measured here, planning is cold-only), warm = steady state; GOMAXPROCS=%d NumCPU=%d",
+			rep.GOMAXPROCS, rep.NumCPU),
+	}
+	for _, p := range rep.Points {
+		t.Rows = append(t.Rows, []string{
+			itoa(p.Workers),
+			fmt.Sprintf("%.0f", p.TextColdNsPerProbe),
+			fmt.Sprintf("%.0f", p.TextWarmNsPerProbe),
+			fmt.Sprintf("%.0f", p.PreparedColdNsPerProbe),
+			fmt.Sprintf("%.0f", p.PreparedWarmNsPerProbe),
+			fmt.Sprintf("%.2fx", p.WarmSpeedup),
+			fmt.Sprintf("%.1f%%", 100*p.CandSetHitRate),
+		})
+	}
+	return t, rep, nil
+}

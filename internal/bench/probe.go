@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"kwsdbg/internal/core"
@@ -34,11 +33,10 @@ type ProbeReport struct {
 	Strategy        string `json:"strategy"`
 	Rounds          int    `json:"rounds"`
 	QueriesPerRound int    `json:"queries_per_round"`
-	// GOMAXPROCS and NumCPU qualify the speedup column: worker counts beyond
-	// the core count cannot shorten CPU-bound probe batches.
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Points     []ProbePoint `json:"points"`
+	// Parallelism qualifies the speedup column: worker counts beyond the
+	// core count cannot shorten CPU-bound probe batches.
+	Parallelism
+	Points []ProbePoint `json:"points"`
 }
 
 // ProbeSweep measures the Phase 3 probe scheduler across worker counts: the
@@ -58,8 +56,7 @@ func ProbeSweep(env *Env, level int, workers []int, rounds int) (*Table, *ProbeR
 		Strategy:        core.RE.String(),
 		Rounds:          rounds,
 		QueriesPerRound: len(queries),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		NumCPU:          runtime.NumCPU(),
+		Parallelism:     CurrentParallelism(env.Procs),
 	}
 
 	sweep := func(w int, bypass bool) (nsPerOp, probesPerOp, hitRate float64, err error) {

@@ -66,12 +66,12 @@ func BenchmarkSublatticeBuild(b *testing.B) {
 	}
 }
 
-// BenchmarkRenderSQL quantifies the per-run rendered-SQL memo: "cold"
-// renders a node's probe query fresh every iteration (a new oracle each
-// time, as every probe did before the memo existed); "memo" pays the render
-// once and hits the sync.Map afterwards — the path BU/TD take when probing a
-// shared descendant once per MTN.
-func BenchmarkRenderSQL(b *testing.B) {
+// BenchmarkProbeCompile quantifies the prepared pipeline's per-probe setup:
+// "render" is the text path's per-probe cost of materializing the SQL string
+// (what every probe paid before handles); "compile" resolves a fresh handle
+// from the AST (the handle-cache miss path); "handle" looks a warm handle up
+// through the per-run map — the cost every repeat probe actually pays.
+func BenchmarkProbeCompile(b *testing.B) {
 	sys := benchSystem(b)
 	kws := []string{"saffron", "scented", "candle"}
 	ph, err := sys.phase12(kws)
@@ -80,22 +80,32 @@ func BenchmarkRenderSQL(b *testing.B) {
 	}
 	sub := buildSublattice(sys.lat, ph.mtnIDs)
 	nodeID := sub.nodeID[sub.len()-1] // deepest node: the costliest render
-	b.Run("cold", func(b *testing.B) {
+	b.Run("render", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			o := newSQLOracle(context.Background(), sys.lat, sys.db, kws)
-			if _, err := o.renderSQL(nodeID); err != nil {
+			if _, err := sys.lat.SQL(sys.lat.Node(nodeID), kws, true); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	b.Run("memo", func(b *testing.B) {
-		o := newSQLOracle(context.Background(), sys.lat, sys.db, kws)
-		if _, err := o.renderSQL(nodeID); err != nil {
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sel, err := sys.lat.Select(sys.lat.Node(nodeID), kws, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.eng.Prepare(sel); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("handle", func(b *testing.B) {
+		o := newPreparedOracle(context.Background(), sys.lat, sys.eng, sys.prepared, kws)
+		if _, err := o.handle(nodeID); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := o.renderSQL(nodeID); err != nil {
+			if _, err := o.handle(nodeID); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -76,6 +76,13 @@ type System struct {
 	// SetProbeCache. Atomic because servers install or swap it while
 	// concurrent Debug calls are running.
 	cache atomic.Pointer[probecache.Cache]
+
+	// prepared is the cross-request cache of compiled probe handles, keyed
+	// by probe identity (canonical node label + keyword binding). A handle
+	// found here skips render, parse, resolve, and — unless the data
+	// version moved — planning; entries self-revalidate, so the cache
+	// never needs flushing on INSERT.
+	prepared *engine.PreparedCache
 }
 
 // NewSystem wires an engine and a pre-generated lattice together. The lattice
@@ -84,7 +91,10 @@ func NewSystem(eng *engine.Engine, lat *lattice.Lattice) (*System, error) {
 	if eng.Database().Schema() != lat.Schema() {
 		return nil, fmt.Errorf("core: lattice was generated from a different schema")
 	}
-	return &System{eng: eng, lat: lat, db: sqldriver.OpenDB(eng)}, nil
+	return &System{
+		eng: eng, lat: lat, db: sqldriver.OpenDB(eng),
+		prepared: engine.NewPreparedCache(engine.DefaultPlanCacheSize, "prepared"),
+	}, nil
 }
 
 // Build performs Phase 0 for an engine: generate the lattice and construct
@@ -119,6 +129,25 @@ func (sys *System) SetProbeCache(c *probecache.Cache) { sys.cache.Store(c) }
 // ProbeCache returns the installed cross-request cache, or nil.
 func (sys *System) ProbeCache() *probecache.Cache { return sys.cache.Load() }
 
+// PreparedCache returns the cross-request probe-handle cache, for health
+// stats and benchmarks.
+func (sys *System) PreparedCache() *engine.PreparedCache { return sys.prepared }
+
+// SetPlanCacheSize rebounds both plan caches — the System's probe-handle
+// cache and the engine's text-path cache — to max entries each; 0 disables
+// them, negative means unbounded.
+func (sys *System) SetPlanCacheSize(max int) {
+	sys.prepared.Resize(max)
+	sys.eng.PlanCache().Resize(max)
+}
+
+// PurgePlanCaches empties both plan caches without changing their bounds;
+// benchmarks use it to measure cold-path compile costs.
+func (sys *System) PurgePlanCaches() {
+	sys.prepared.Purge()
+	sys.eng.PlanCache().Purge()
+}
+
 // Stats aggregates the measurements of one debugging run — every quantity
 // §3 of the paper reports.
 type Stats struct {
@@ -148,6 +177,15 @@ type Stats struct {
 	// above it depends on execution state (what earlier requests warmed),
 	// not just the query.
 	CacheHits int
+
+	// Prepared-pipeline accounting. Like CacheHits these depend on
+	// execution state — what earlier requests compiled and what this run's
+	// probes shared — never on the query, so they are excluded from the
+	// report JSON and from output-identity comparisons. All three are zero
+	// on the text path.
+	PlanCompiles  int // probe handles compiled this run (handle-cache misses)
+	CandSetHits   int // candidate-set lookups shared from the run's cache
+	CandSetMisses int // candidate-set lookups computed from the index
 }
 
 // SQLIssued is the number of probes that actually reached the database:
@@ -227,6 +265,13 @@ type Options struct {
 	// run: no lookups, no stores. Useful for measuring true probe costs and
 	// for forcing fresh verdicts.
 	BypassCache bool
+	// TextProbes forces Phase 3 probes through the rendered-SQL +
+	// database/sql text path instead of compiled engine handles. The two
+	// paths produce byte-identical Output and probe counts (property-tested
+	// at several worker counts); the text path exists as the reference
+	// implementation, for benchmark comparison, and for backends reachable
+	// only through a database/sql driver.
+	TextProbes bool
 	// Deadline bounds the wall time Phase 3 may spend probing; zero means
 	// unlimited. Unlike cancelling the DebugContext context — which aborts
 	// the run with an error — an expired Deadline degrades gracefully: the
@@ -332,18 +377,33 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	defer cancelProbes()
 	gov := newGovernor(ctx, probeCtx, opts.ProbeBudget)
 
-	sqlOr := newSQLOracle(probeCtx, sys.lat, sys.db, keywords)
-	if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
-		// Tie the cache generation to the data: verdicts learned before any
-		// INSERT or index invalidation become unreachable here, before the
-		// first probe of this run could read one.
-		cache.SyncGeneration(sys.eng.DataVersion())
-		sqlOr.cache = cache
+	// The probe oracle: compiled engine handles by default, rendered SQL
+	// through database/sql when the caller asks for the text path. Both
+	// share the verdict cache and produce identical Output.
+	var base Oracle
+	var prepOr *preparedOracle
+	if opts.TextProbes {
+		sqlOr := newSQLOracle(probeCtx, sys.lat, sys.db, keywords)
+		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
+			// Tie the cache generation to the data: verdicts learned before
+			// any INSERT or index invalidation become unreachable here,
+			// before the first probe of this run could read one.
+			cache.SyncGeneration(sys.eng.DataVersion())
+			sqlOr.cache = cache
+		}
+		base = sqlOr
+	} else {
+		prepOr = newPreparedOracle(probeCtx, sys.lat, sys.eng, sys.prepared, keywords)
+		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
+			cache.SyncGeneration(sys.eng.DataVersion())
+			prepOr.cache = cache
+		}
+		base = prepOr
 	}
-	var oracle Oracle = sqlOr
+	oracle := base
 	sd := seed{baseAlive: sys.baseAliveFunc()}
 	if sess != nil {
-		oracle = &sessionOracle{inner: sqlOr, s: sess}
+		oracle = &sessionOracle{inner: base, s: sess}
 		sd.pins = sess.pinned
 	}
 	workers := ClampWorkers(opts.Workers)
@@ -365,10 +425,16 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		out.IncompleteReason = reason
 	}
 	out.Stats.TraverseTime = time.Since(start)
-	out.Stats.SQLExecuted = sqlOr.Stats().Executed
-	out.Stats.SQLTime = sqlOr.Stats().SQLTime
+	ost := base.Stats()
+	out.Stats.SQLExecuted = ost.Executed
+	out.Stats.SQLTime = ost.SQLTime
 	out.Stats.Inferred = inferred
-	out.Stats.CacheHits = sqlOr.Stats().CacheHits
+	out.Stats.CacheHits = ost.CacheHits
+	out.Stats.PlanCompiles = ost.Compiled
+	if prepOr != nil {
+		ch, cm := prepOr.candStats()
+		out.Stats.CandSetHits, out.Stats.CandSetMisses = int(ch), int(cm)
+	}
 	strat := opts.Strategy.String()
 	mPhaseSeconds.With("traverse").Observe(out.Stats.TraverseTime.Seconds())
 	mProbes.With(strat).Add(float64(out.Stats.SQLExecuted))

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/probecache"
 )
@@ -36,19 +37,37 @@ type OracleStats struct {
 	// cross-request aliveness cache without touching the engine; the SQL
 	// actually run is Executed - CacheHits.
 	CacheHits int
+	// Compiled counts the probe handles compiled this run: the prepared
+	// oracle's misses of the cross-request handle cache. The text oracle,
+	// which compiles nothing, always reports zero. Like CacheHits this
+	// depends on execution state (what earlier requests warmed), never on
+	// the query.
+	Compiled int
 	// SQLTime is wall time spent executing probe SQL (cache hits cost none).
 	SQLTime time.Duration
 }
 
-// sqlOracle renders each node's "SELECT 1 ... LIMIT 1" probe and runs it
-// through database/sql, exactly as the paper's Java implementation issued
-// probes through JDBC. All state is synchronized: counts are atomic, and the
-// per-run rendered-SQL memo is a sync.Map, so concurrent probes of distinct
-// nodes proceed without contention.
-type sqlOracle struct {
+// batchPreparer is implemented by oracles that benefit from compiling a
+// probe batch's handles before the worker pool starts: the scheduler calls
+// warmBatch with the nodes of each dispatch, so concurrent workers find
+// their handles already resolved instead of racing to compile them.
+type batchPreparer interface {
+	warmBatch(nodeIDs []int)
+}
+
+// preparedOracle is the default probe path: each node's existence query is
+// compiled once into an engine.Prepared handle — no SQL text is rendered, no
+// parse happens — and the handle is reused for the session through two
+// layers: a per-run map (the no-reuse strategies BU/TD probe shared
+// descendants once per MTN) and the System's cross-request LRU keyed by
+// probe identity, where a handle survives until evicted and revalidates
+// itself against the engine's data version on every execution. All indexed
+// candidate sets the handles' plans need are shared through the run's
+// CandidateCache.
+type preparedOracle struct {
 	ctx      context.Context
 	lat      *lattice.Lattice
-	db       *sql.DB
+	eng      *engine.Engine
 	keywords []string
 
 	// cache, when non-nil, is the cross-request aliveness cache; verdicts
@@ -57,11 +76,135 @@ type sqlOracle struct {
 	// version by debugWith, never here.
 	cache *probecache.Cache
 
-	// sqlText memoizes rendered probe SQL per node ID for the run's
-	// lifetime. The no-reuse strategies (BU, TD) probe shared descendants
-	// once per MTN, and rendering — tree walk plus predicate expansion —
-	// was measurably recomputed on every one of those probes.
-	sqlText sync.Map // int -> string
+	// handles is the System-level cross-request handle cache; local holds
+	// this run's resolved handles (nodeID -> *engine.Prepared) so repeat
+	// probes skip even the LRU lock.
+	handles *engine.PreparedCache
+	local   sync.Map
+
+	// cands shares indexed candidate row sets across this run's probes.
+	cands *engine.CandidateCache
+
+	executed  atomic.Int64
+	cacheHits atomic.Int64
+	compiled  atomic.Int64
+	sqlNanos  atomic.Int64
+}
+
+func newPreparedOracle(ctx context.Context, lat *lattice.Lattice, eng *engine.Engine, handles *engine.PreparedCache, keywords []string) *preparedOracle {
+	return &preparedOracle{
+		ctx: ctx, lat: lat, eng: eng, keywords: keywords,
+		handles: handles, cands: engine.NewCandidateCache(),
+	}
+}
+
+// probeKey is the node's probe identity: canonical label plus keyword
+// binding — the same identity the verdict cache uses, because two nodes
+// sharing it have isomorphic existence queries with identical outcomes.
+func (o *preparedOracle) probeKey(nodeID int) string {
+	node := o.lat.Node(nodeID)
+	return probecache.Key(node.Label, node.CopyMask, o.keywords)
+}
+
+// handle resolves the node's Prepared handle: per-run map, then the
+// cross-request LRU, then compile. Concurrent probes of one node may both
+// compile; the duplicate handle is equivalent and the last store wins, so
+// correctness never depends on winning the race.
+func (o *preparedOracle) handle(nodeID int) (*engine.Prepared, error) {
+	if v, ok := o.local.Load(nodeID); ok {
+		return v.(*engine.Prepared), nil
+	}
+	key := o.probeKey(nodeID)
+	if h := o.handles.Get(key); h != nil {
+		o.local.Store(nodeID, h)
+		return h, nil
+	}
+	sel, err := o.lat.Select(o.lat.Node(nodeID), o.keywords, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: instantiate node %d: %w", nodeID, err)
+	}
+	h, err := o.eng.Prepare(sel)
+	if err != nil {
+		return nil, fmt.Errorf("core: prepare node %d: %w", nodeID, err)
+	}
+	o.compiled.Add(1)
+	o.handles.Put(key, h)
+	o.local.Store(nodeID, h)
+	return h, nil
+}
+
+// warmBatch implements batchPreparer: compiling is cheap (resolve only; the
+// plan is lazy), so doing it serially before dispatch keeps the workers'
+// handle lookups contention-free.
+func (o *preparedOracle) warmBatch(nodeIDs []int) {
+	for _, id := range nodeIDs {
+		// Errors are deliberately dropped: the probe itself will hit the
+		// same error and report it through the scheduler's ordered commit.
+		_, _ = o.handle(id)
+	}
+}
+
+// IsAlive implements Oracle.
+func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
+	var key string
+	if o.cache != nil {
+		key = o.probeKey(nodeID)
+		if alive, ok := o.cache.Get(key); ok {
+			o.executed.Add(1)
+			o.cacheHits.Add(1)
+			return alive, nil
+		}
+	}
+	// The timer covers full probe servicing — handle lookup (or compile)
+	// plus execution — mirroring the text path, which times render plus
+	// execution; SQLTime is therefore comparable across the two paths.
+	start := time.Now()
+	h, err := o.handle(nodeID)
+	if err != nil {
+		return false, err
+	}
+	res, err := h.ExecContext(o.ctx, o.cands)
+	if err != nil {
+		return false, fmt.Errorf("core: probe node %d: %w", nodeID, err)
+	}
+	alive := len(res.Rows) > 0
+	o.executed.Add(1)
+	o.sqlNanos.Add(int64(time.Since(start)))
+	if o.cache != nil {
+		o.cache.Put(key, alive)
+	}
+	return alive, nil
+}
+
+// Stats implements Oracle.
+func (o *preparedOracle) Stats() OracleStats {
+	return OracleStats{
+		Executed:  int(o.executed.Load()),
+		CacheHits: int(o.cacheHits.Load()),
+		Compiled:  int(o.compiled.Load()),
+		SQLTime:   time.Duration(o.sqlNanos.Load()),
+	}
+}
+
+// candStats reports the run's candidate-set cache traffic.
+func (o *preparedOracle) candStats() (hits, misses int64) { return o.cands.Stats() }
+
+// sqlOracle is the fallback text path: each node's "SELECT 1 ... LIMIT 1"
+// probe is rendered to SQL and run through database/sql, exactly as the
+// paper's Java implementation issued probes through JDBC. It exists for any
+// backend reachable only through a database/sql driver, and as the reference
+// the prepared path is property-tested against. Rendering is recomputed per
+// probe — the per-run memo it once carried is gone, since the default path
+// no longer renders at all — but the engine's canonical-SQL plan cache still
+// spares repeated probes the parse and resolve.
+type sqlOracle struct {
+	ctx      context.Context
+	lat      *lattice.Lattice
+	db       *sql.DB
+	keywords []string
+
+	// cache is the cross-request aliveness cache, as in preparedOracle.
+	cache *probecache.Cache
 
 	executed  atomic.Int64
 	cacheHits atomic.Int64
@@ -70,20 +213,6 @@ type sqlOracle struct {
 
 func newSQLOracle(ctx context.Context, lat *lattice.Lattice, db *sql.DB, keywords []string) *sqlOracle {
 	return &sqlOracle{ctx: ctx, lat: lat, db: db, keywords: keywords}
-}
-
-// renderSQL returns the node's existence query, rendering it at most once
-// per run.
-func (o *sqlOracle) renderSQL(nodeID int) (string, error) {
-	if v, ok := o.sqlText.Load(nodeID); ok {
-		return v.(string), nil
-	}
-	query, err := o.lat.SQL(o.lat.Node(nodeID), o.keywords, true)
-	if err != nil {
-		return "", fmt.Errorf("core: render node %d: %w", nodeID, err)
-	}
-	o.sqlText.Store(nodeID, query)
-	return query, nil
 }
 
 // IsAlive implements Oracle.
@@ -98,11 +227,13 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 			return alive, nil
 		}
 	}
-	query, err := o.renderSQL(nodeID)
-	if err != nil {
-		return false, err
-	}
+	// Rendering is inside the timer: it is part of servicing a text-path
+	// probe, and skipping it is precisely what the prepared path is for.
 	start := time.Now()
+	query, err := o.lat.SQL(o.lat.Node(nodeID), o.keywords, true)
+	if err != nil {
+		return false, fmt.Errorf("core: render node %d: %w", nodeID, err)
+	}
 	rows, err := o.db.QueryContext(o.ctx, query)
 	if err != nil {
 		return false, fmt.Errorf("core: execute %q: %w", query, err)

@@ -23,6 +23,12 @@ func normalized(out *Output) Output {
 	n.Stats.SQLTime = 0
 	n.Stats.TraverseTime = 0
 	n.Stats.CacheHits = 0
+	// Prepared-pipeline accounting depends on what earlier runs warmed
+	// (handle cache, candidate sets), not on the query — and is zero by
+	// definition on the text path.
+	n.Stats.PlanCompiles = 0
+	n.Stats.CandSetHits = 0
+	n.Stats.CandSetMisses = 0
 	return n
 }
 

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kwsdbg/internal/probecache"
+)
+
+// The tentpole's standing property: the prepared-probe pipeline is an
+// execution-strategy change, not a semantics change. Across random schemas,
+// data, and queries, a prepared-path run at any worker count must produce an
+// Output identical to the text-path run — answers, non-answers, MPAN sets,
+// and the logical probe counts (SQLExecuted, Inferred) — with or without the
+// verdict cache.
+func TestPreparedTextEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep is slow")
+	}
+	r := rand.New(rand.NewSource(20260806))
+	vocab := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze", "missing"}
+	strategies := []Strategy{SBH, BUWR, RE}
+	for trial := 0; trial < 4; trial++ {
+		sys, _ := randomSystem(t, r)
+		sys.SetProbeCache(probecache.New(probecache.Config{}))
+		for q := 0; q < 3; q++ {
+			nk := 1 + r.Intn(3)
+			kws := make([]string, nk)
+			for i := range kws {
+				kws[i] = vocab[r.Intn(len(vocab))]
+			}
+			for _, strat := range strategies {
+				ref, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true, TextProbes: true})
+				if err != nil {
+					t.Fatalf("trial %d %v %v text: %v", trial, kws, strat, err)
+				}
+				want := normalized(ref)
+				for _, workers := range []int{1, 4, 8} {
+					for _, bypass := range []bool{true, false} {
+						out, err := sys.Debug(kws, Options{Strategy: strat, Workers: workers, BypassCache: bypass})
+						if err != nil {
+							t.Fatalf("trial %d %v %v prepared workers=%d: %v", trial, kws, strat, workers, err)
+						}
+						if got := normalized(out); !reflect.DeepEqual(got, want) {
+							t.Fatalf("trial %d %v %v: prepared workers=%d cache=%v diverges from text path\ngot:  %+v\nwant: %+v",
+								trial, kws, strat, workers, !bypass, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// An INSERT between two debug runs must invalidate every layer of the
+// prepared pipeline: the second prepared run must match a text-path run
+// executed after the insert, not the pre-insert state it had handles for.
+func TestPreparedInvalidatesOnInsert(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"lilac"}
+	before, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("Debug: %v", err)
+	}
+	if len(before.Answers) != 0 {
+		t.Fatalf("pre-insert answers = %d, want 0", len(before.Answers))
+	}
+	if _, err := sys.Engine().Exec("INSERT INTO Item VALUES (9, 'lilac candle', 2, 3, 2, 6.0, 'fresh')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+	fresh, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true, TextProbes: true})
+	if err != nil {
+		t.Fatalf("Debug text: %v", err)
+	}
+	after, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("Debug prepared: %v", err)
+	}
+	if len(after.Answers) == 0 {
+		t.Fatal("post-insert prepared run still reports no answers (stale plan or candidate set)")
+	}
+	got, want := normalized(after), normalized(fresh)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-insert prepared run diverges from fresh text run\ngot:  %+v\nwant: %+v", got, want)
+	}
+}

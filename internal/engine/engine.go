@@ -38,6 +38,13 @@ type Engine struct {
 	ix      *invidx.Index
 	ixSizes map[string]int // per-table row counts when ix was built
 
+	// plans caches Prepared handles for the text path: QueryContext keys it
+	// by the statement's canonical rendering (see sqltext.CanonicalKey) plus
+	// the raw text as an alias, so repeated SQL skips parse and resolve
+	// entirely. Handles revalidate against version themselves, so the cache
+	// needs no generation.
+	plans *PreparedCache
+
 	// faults and retry are the resilience hooks of retry.go: an optional
 	// FaultInjector consulted before every Select execution, and the
 	// RetryPolicy governing transient-failure retries. Both atomic so tests
@@ -48,8 +55,12 @@ type Engine struct {
 
 // New wraps an already-populated database.
 func New(db *storage.Database) *Engine {
-	return &Engine{db: db}
+	return &Engine{db: db, plans: NewPreparedCache(DefaultPlanCacheSize, "text")}
 }
+
+// PlanCache exposes the text-path plan cache for sizing, health stats, and
+// cold-start benchmarks.
+func (e *Engine) PlanCache() *PreparedCache { return e.plans }
 
 // Load builds an engine from a SQL script of CREATE TABLE and INSERT
 // statements. This is how the examples bootstrap their datasets, and it is
@@ -158,8 +169,15 @@ func (e *Engine) Query(sql string) (*Result, error) {
 }
 
 // QueryContext parses and executes a SELECT statement, abandoning the
-// enumeration when the context is cancelled.
+// enumeration when the context is cancelled. Statements are compiled through
+// the plan cache: a repeat of the same SQL — byte-identical or merely
+// spelling the same canonical query — reuses its Prepared handle and skips
+// parse and resolve. Only successfully compiled SELECTs are cached; parse
+// errors and non-SELECTs take the uncached path every time.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	if p := e.plans.Get(sql); p != nil {
+		return p.ExecContext(ctx, nil)
+	}
 	stmt, err := sqltext.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -168,7 +186,21 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) 
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
 	}
-	return e.SelectContext(ctx, sel)
+	// Re-probe under the canonical key: different spellings of one query
+	// (whitespace, case) converge on a single cached handle.
+	canon := sqltext.CanonicalKey(sel)
+	p := e.plans.Get(canon)
+	if p == nil {
+		p, err = e.Prepare(sel)
+		if err != nil {
+			return nil, err
+		}
+		e.plans.Put(canon, p)
+	}
+	if canon != sql {
+		e.plans.Put(sql, p)
+	}
+	return p.ExecContext(ctx, nil)
 }
 
 // Exec parses and executes an INSERT statement, returning the number of rows

@@ -421,10 +421,18 @@ type aliasPlan struct {
 // plan computes candidate sets from indexable local predicates and an
 // execution order over the aliases.
 func (e *Engine) plan(bq *boundQuery) ([]aliasPlan, []int) {
+	return e.planWith(bq, nil)
+}
+
+// planWith is plan with an optional candidate-set cache (see CandidateCache):
+// indexed row sets are looked up there before touching the inverted index, so
+// probes of one debug run that bind the same keyword to the same relation
+// share the lookup, intersection, and membership map.
+func (e *Engine) planWith(bq *boundQuery, cands *CandidateCache) ([]aliasPlan, []int) {
 	plans := make([]aliasPlan, len(bq.aliases))
 	ix := e.Index()
 	for a := range bq.aliases {
-		plans[a] = e.planAlias(bq, ix, a)
+		plans[a] = e.planAlias(bq, ix, a, cands)
 	}
 	// Greedy order: start from the smallest estimate; repeatedly pick the
 	// connected alias with the smallest estimate, falling back to the global
@@ -465,28 +473,35 @@ func (e *Engine) plan(bq *boundQuery) ([]aliasPlan, []int) {
 }
 
 // planAlias derives the candidate row set for one alias from its indexable
-// local predicates.
-func (e *Engine) planAlias(bq *boundQuery, ix *invidx.Index, a int) aliasPlan {
+// local predicates, consulting the candidate-set cache when one is supplied.
+// A single cached predicate reuses the cache's membership map directly — the
+// common case for existence probes, whose aliases carry at most one keyword
+// predicate — and only intersections allocate a fresh one.
+func (e *Engine) planAlias(bq *boundQuery, ix *invidx.Index, a int, cands *CandidateCache) aliasPlan {
 	tbl := bq.tables[a]
 	var ids []storage.RowID
+	var member map[storage.RowID]bool
 	have := false
 	covered := make([]bool, len(bq.local[a]))
 	for pi, p := range bq.local[a] {
-		if got, ok := e.indexable(bq, ix, a, p); ok {
+		if got, mem, ok := e.candidateSet(bq, ix, a, p, cands); ok {
 			covered[pi] = true
 			if !have {
-				ids, have = got, true
+				ids, member, have = got, mem, true
 			} else {
 				ids = invidx.IntersectRowIDs(ids, got)
+				member = nil
 			}
 		}
 	}
 	if !have {
 		return aliasPlan{est: tbl.RowCount()}
 	}
-	member := make(map[storage.RowID]bool, len(ids))
-	for _, id := range ids {
-		member[id] = true
+	if member == nil {
+		member = make(map[storage.RowID]bool, len(ids))
+		for _, id := range ids {
+			member[id] = true
+		}
 	}
 	return aliasPlan{indexed: true, ids: ids, member: member, est: len(ids), covered: covered}
 }
@@ -539,45 +554,22 @@ func (e *Engine) Select(sel *sqltext.Select) (*Result, error) {
 // running it to completion. Transient failures (see Transient) are retried
 // with exponential backoff up to the engine's RetryPolicy; the backoff sleep
 // itself is context-aware, so cancellation never waits out a delay.
+//
+// One-shot calls compile an ephemeral Prepared handle; callers re-executing
+// the same Select should Prepare once and reuse the handle.
 func (e *Engine) SelectContext(ctx context.Context, sel *sqltext.Select) (*Result, error) {
-	p := e.retryPolicy()
-	delay := p.BaseDelay
-	for attempt := 1; ; attempt++ {
-		res, err := e.selectOnce(ctx, sel)
-		if err == nil || attempt >= p.MaxAttempts || !IsTransient(err) {
-			return res, err
-		}
-		mSQLRetries.Inc()
-		timer := time.NewTimer(delay)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
-			return nil, ctx.Err()
-		case <-timer.C:
-		}
-		if delay *= 2; delay > p.MaxDelay {
-			delay = p.MaxDelay
-		}
-	}
-}
-
-// selectOnce is one execution attempt. The fault hook fires first so chaos
-// tests can fail an attempt before any work happens; a successful attempt is
-// indistinguishable from one that never faulted.
-func (e *Engine) selectOnce(ctx context.Context, sel *sqltext.Select) (*Result, error) {
-	if f := e.faultInjector(); f != nil {
-		if err := f(); err != nil {
-			mFaultsInjected.Inc()
-			return nil, err
-		}
-	}
-	start := time.Now()
-	bq, err := e.resolve(sel)
+	p, err := e.Prepare(sel)
 	if err != nil {
 		return nil, err
 	}
-	plans, order := e.plan(bq)
+	return p.ExecContext(ctx, nil)
+}
 
+// runPlan enumerates one planned execution and assembles the Result; it is
+// the shared tail of every execution path (text or prepared, any attempt).
+// start is when the attempt began, so the latency metric covers planning too.
+func (e *Engine) runPlan(ctx context.Context, bq *boundQuery, plans []aliasPlan, order []int, start time.Time) (*Result, error) {
+	sel := bq.sel
 	res := &Result{Columns: projectionColumns(bq)}
 	limit := sel.Limit
 	if sel.Projection.Count {

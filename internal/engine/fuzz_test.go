@@ -35,6 +35,11 @@ func FuzzLikeMatch(f *testing.F) {
 	f.Add("", "x")
 	f.Add("_", "é")
 	f.Add("%a%b%c%", "xxaxbxc")
+	f.Add("", "")       // empty pattern
+	f.Add("%", "é")     // wildcard-only over multi-byte input
+	f.Add("%世界", "你好世界") // multi-byte runes at pattern boundaries
+	f.Add("_é_", "xéy")
+	f.Add("%ß%", "straße")
 	f.Fuzz(func(t *testing.T, pattern, s string) {
 		if len(pattern) > 64 || len(s) > 256 {
 			return // keep the backtracking oracle cheap
@@ -55,6 +60,10 @@ func FuzzContainsToken(f *testing.F) {
 	f.Add("ÜBER graph", "über")
 	f.Add("", "")
 	f.Add("ab", "abc")
+	f.Add("ΣΟΦΙΑ works", "σοφια") // case folding over multi-byte letters
+	f.Add("café-au-lait", "café") // multi-byte rune at a token boundary
+	f.Add("naïve—idea", "idea")   // multi-byte delimiter
+	f.Add("v1.2 release", "2")
 	f.Fuzz(func(t *testing.T, cell, keyword string) {
 		toks := invidx.Tokenize(keyword)
 		if len(toks) != 1 {

@@ -1,0 +1,115 @@
+package engine
+
+import "testing"
+
+// Unicode and degenerate-pattern edges of likeMatch, complementing the ASCII
+// table in engine_test.go: '_' must consume one rune (not one byte), '%' must
+// backtrack correctly across multi-byte runes, and the empty and
+// wildcard-only patterns must behave per SQL semantics.
+func TestLikeMatchUnicode(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		// Degenerate patterns.
+		{"", "", true},
+		{"", "é", false},
+		{"%", "", true},
+		{"%", "любой текст", true},
+		{"%%%", "", true},
+
+		// '_' is one rune, never one byte.
+		{"_", "é", true},
+		{"_", "世", true},
+		{"__", "é", false},
+		{"__", "世界", true},
+		{"_é_", "xéy", true},
+		{"_é_", "xez", false},
+
+		// Multi-byte runes at pattern boundaries.
+		{"é%", "écru", true},
+		{"é%", "crué", false},
+		{"%é", "café", true},
+		{"%é", "éclair", false},
+		{"%世界", "你好世界", true},
+		{"%世界%", "世界你好", true},
+
+		// Backtracking across multi-byte text.
+		{"%a%é%", "xaxéx", true},
+		{"%a%é%", "xéxax", false},
+		{"%ß%", "straße", true},
+
+		// Case folding is NOT applied (LIKE is case-sensitive here).
+		{"ÜBER%", "über alles", false},
+		{"über%", "über alles", true},
+	}
+	for _, tc := range tests {
+		if got := likeMatch(tc.pattern, tc.s); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tc.pattern, tc.s, got, tc.want)
+		}
+	}
+}
+
+// containsToken must case-fold like the tokenizer it shadows (unicode.ToLower
+// per rune) and must respect token boundaries: an alphanumeric run matches
+// only in full, and runs are delimited by any non-alphanumeric rune, however
+// many bytes wide.
+func TestContainsTokenUnicode(t *testing.T) {
+	tests := []struct {
+		cell, token string
+		want        bool
+	}{
+		{"saffron scented oil", "saffron", true},
+		{"saffrons", "saffron", false}, // prefix of a longer run is no match
+		{"saf", "saffron", false},
+		{"", "saffron", false},
+		{"saffron", "", false}, // the empty token matches nothing
+
+		// Case folding over multi-byte letters.
+		{"ÜBER graph", "über", true},
+		{"über graph", "uber", false}, // folding, not transliteration
+		{"ΣΟΦΙΑ works", "σοφια", true},
+		{"Łódź trains", "łódź", true},
+
+		// Multi-byte runes at token boundaries: the delimiter and the token
+		// edge can each be multi-byte.
+		{"café-au-lait", "café", true},
+		{"café-au-lait", "au", true},
+		{"naïve—idea", "naïve", true}, // em-dash delimiter
+		{"naïve—idea", "idea", true},
+		{"世界 hello", "hello", true},
+
+		// Digits participate in runs; punctuation does not.
+		{"hand-made. 2pck!", "2pck", true},
+		{"v1.2 release", "2", true},
+		{"v1.2 release", "12", false},
+	}
+	for _, tc := range tests {
+		if got := containsToken(tc.cell, tc.token); got != tc.want {
+			t.Errorf("containsToken(%q, %q) = %v, want %v", tc.cell, tc.token, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeAlnum(t *testing.T) {
+	tests := []struct {
+		in   string
+		r    rune
+		size int
+	}{
+		{"abc", 'a', 1},
+		{"7up", '7', 1},
+		{"état", 'é', 2},
+		{"世界", '世', 3},
+		{".dot", 0, 0},
+		{" x", 0, 0},
+		{"—dash", 0, 0},
+		{"", 0, 0},
+		{"\xff\xfe", 0, 0}, // invalid UTF-8 decodes to RuneError, not alnum
+	}
+	for _, tc := range tests {
+		if r, size := decodeAlnum(tc.in); r != tc.r || size != tc.size {
+			t.Errorf("decodeAlnum(%q) = (%q, %d), want (%q, %d)", tc.in, r, size, tc.r, tc.size)
+		}
+	}
+}

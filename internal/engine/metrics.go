@@ -19,3 +19,33 @@ var (
 	mFaultsInjected = obs.Default.Counter("kwsdbg_sql_faults_injected_total",
 		"Execution attempts failed by the chaos fault-injection hook.")
 )
+
+// Prepared-pipeline metrics. The plan-cache families carry a path label:
+// "text" is the engine's SQL-keyed cache in front of QueryContext, "prepared"
+// the debugger's probe-handle cache. Compiles and re-plans are per-handle
+// events and need no label.
+var (
+	mPlanCacheHits = obs.Default.CounterVec("kwsdbg_plan_cache_hits_total",
+		"Plan cache lookups answered with an existing Prepared handle, by path.", "path")
+	mPlanCacheMisses = obs.Default.CounterVec("kwsdbg_plan_cache_misses_total",
+		"Plan cache lookups that had to compile a new handle, by path.", "path")
+	mPlanCacheEvictions = obs.Default.CounterVec("kwsdbg_plan_cache_evictions_total",
+		"Prepared handles evicted by the LRU bound, by path.", "path")
+	mPlanCacheEntries = obs.Default.GaugeVec("kwsdbg_plan_cache_entries",
+		"Prepared handles currently cached, by path.", "path")
+	mPlanCompiles = obs.Default.Counter("kwsdbg_plan_compiles_total",
+		"Selects compiled into Prepared handles (resolve-once events).")
+	mPlanReplans = obs.Default.Counter("kwsdbg_plan_replans_total",
+		"Prepared handles re-planned after a DataVersion bump.")
+)
+
+// Candidate-set cache metrics: per-alias indexed row sets shared across the
+// probes of one debug run.
+var (
+	mCandSetHits = obs.Default.Counter("kwsdbg_candset_hits_total",
+		"Candidate-set lookups served from a run's shared cache.")
+	mCandSetMisses = obs.Default.Counter("kwsdbg_candset_misses_total",
+		"Candidate-set lookups that computed the row set from the index.")
+	mCandSetStale = obs.Default.Counter("kwsdbg_candset_stale_total",
+		"Candidate-set entries discarded because the data version advanced.")
+)

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/invidx"
+	"kwsdbg/internal/sqltext"
+	"kwsdbg/internal/storage"
+)
+
+// This file is the prepared-probe pipeline: a Select is compiled once into a
+// bound query (Prepare — names resolved, predicates classified, never redone),
+// its per-alias plans are derived lazily and revalidated against the engine's
+// data version on every execution (re-plan on a generation bump, never
+// re-resolve), and the indexed candidate row sets that recur across the
+// lattice nodes of one debug run can be shared through a CandidateCache.
+// Phase 3 existence probes dominate the online cost, and before this layer
+// every probe paid parse -> resolve -> plan against an immutable schema.
+
+// compiledPlan is one planning outcome: the per-alias access paths and join
+// order valid for a specific data version. It is immutable after
+// construction, which is what lets concurrent executions share it through an
+// atomic pointer.
+type compiledPlan struct {
+	version uint64
+	plans   []aliasPlan
+	order   []int
+}
+
+// Prepared is a compiled, reusable query handle. The bound query is fixed at
+// Prepare time (the schema is immutable after load); the plan is computed on
+// first execution and recomputed only when the engine's DataVersion has
+// advanced past the plan's version. A Prepared is safe for concurrent
+// ExecContext calls and may be shared across requests indefinitely — a stale
+// handle never serves a stale plan, it re-plans.
+type Prepared struct {
+	e    *Engine
+	bq   *boundQuery
+	plan atomic.Pointer[compiledPlan]
+}
+
+// Prepare compiles a SELECT into a reusable handle: name resolution and
+// predicate classification happen here, once; planning is deferred to the
+// first execution so a handle prepared ahead of need costs almost nothing.
+func (e *Engine) Prepare(sel *sqltext.Select) (*Prepared, error) {
+	bq, err := e.resolve(sel)
+	if err != nil {
+		return nil, err
+	}
+	mPlanCompiles.Inc()
+	return &Prepared{e: e, bq: bq}, nil
+}
+
+// PrepareQuery parses and compiles a SELECT statement in one step.
+func (e *Engine) PrepareQuery(sql string) (*Prepared, error) {
+	stmt, err := sqltext.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqltext.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: Prepare requires SELECT, got %T", stmt)
+	}
+	return e.Prepare(sel)
+}
+
+// current returns a plan valid for the engine's present data version,
+// recomputing it if the stored one predates a mutation.
+func (p *Prepared) current(cands *CandidateCache) *compiledPlan {
+	if cp := p.plan.Load(); cp != nil && cp.version == p.e.DataVersion() {
+		return cp
+	}
+	return p.replan(cands)
+}
+
+// replan computes a fresh plan. The version is read before planning: plan()
+// itself can advance it (Index detects staleness while rebuilding), and
+// stamping the earlier value errs in the safe direction — the next execution
+// sees a version mismatch and plans again, it never trusts data the plan did
+// not see. The loop converges as soon as no mutation lands mid-plan.
+func (p *Prepared) replan(cands *CandidateCache) *compiledPlan {
+	mPlanReplans.Inc()
+	for attempt := 0; ; attempt++ {
+		v := p.e.DataVersion()
+		plans, order := p.e.planWith(p.bq, cands)
+		if p.e.DataVersion() == v || attempt >= 3 {
+			cp := &compiledPlan{version: v, plans: plans, order: order}
+			p.plan.Store(cp)
+			return cp
+		}
+	}
+}
+
+// Exec executes the prepared query; see ExecContext.
+func (p *Prepared) Exec(cands *CandidateCache) (*Result, error) {
+	return p.ExecContext(context.Background(), cands)
+}
+
+// ExecContext executes the prepared query with the same semantics as
+// SelectContext — context checks during enumeration, transient-failure
+// retries with backoff, the fault-injection hook — minus the per-call
+// resolve/plan work. cands, when non-nil, shares indexed candidate sets with
+// other handles executed against the same cache; nil plans privately.
+func (p *Prepared) ExecContext(ctx context.Context, cands *CandidateCache) (*Result, error) {
+	pol := p.e.retryPolicy()
+	delay := pol.BaseDelay
+	for attempt := 1; ; attempt++ {
+		res, err := p.execOnce(ctx, cands)
+		if err == nil || attempt >= pol.MaxAttempts || !IsTransient(err) {
+			return res, err
+		}
+		mSQLRetries.Inc()
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+		if delay *= 2; delay > pol.MaxDelay {
+			delay = pol.MaxDelay
+		}
+	}
+}
+
+// execOnce is one execution attempt. The fault hook fires first, exactly as
+// in the text path, so chaos tests exercise prepared probes identically.
+func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache) (*Result, error) {
+	if f := p.e.faultInjector(); f != nil {
+		if err := f(); err != nil {
+			mFaultsInjected.Inc()
+			return nil, err
+		}
+	}
+	start := time.Now()
+	cp := p.current(cands)
+	return p.e.runPlan(ctx, p.bq, cp.plans, cp.order, start)
+}
+
+// CandidateCache shares the per-alias indexed candidate row sets of one debug
+// run. Dozens of lattice nodes bind the same keyword to the same relation
+// copy, so the same CONTAINS lookup — index probe, intersection, membership
+// map — recurs across probes; entries are keyed by table plus the resolved
+// predicate's signature (alias-independent), computed once under a
+// single-flight, and revalidated against the engine's data version so an
+// INSERT between probes can never serve a stale set. The zero value is not
+// usable; see NewCandidateCache. Safe for concurrent use.
+type CandidateCache struct {
+	mu      sync.Mutex
+	entries map[string]*candEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// candEntry is one computed candidate set. version, ids, and member are
+// written under once and immutable afterwards.
+type candEntry struct {
+	once    sync.Once
+	version uint64
+	ids     []storage.RowID
+	member  map[storage.RowID]bool
+}
+
+// NewCandidateCache returns an empty cache. One cache serves one logical
+// request (a debug run); cross-request sharing belongs to the verdict-level
+// probe cache, not here.
+func NewCandidateCache() *CandidateCache {
+	return &CandidateCache{entries: make(map[string]*candEntry)}
+}
+
+// Stats reports lookups answered from the cache versus computed.
+func (c *CandidateCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// get returns the candidate set for key, computing it at most once per data
+// version. A stale entry (computed before the engine's current version) is
+// replaced and recomputed; the loop is bounded because every retry requires
+// an actual concurrent mutation, and even the bounded fallback is no weaker
+// than uncached planning, which also reads the index at one instant.
+func (c *CandidateCache) get(e *Engine, key string, compute func() []storage.RowID) *candEntry {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		en, ok := c.entries[key]
+		if !ok {
+			en = &candEntry{}
+			c.entries[key] = en
+		}
+		c.mu.Unlock()
+		computed := false
+		en.once.Do(func() {
+			computed = true
+			en.version = e.DataVersion()
+			en.ids = compute()
+			en.member = make(map[storage.RowID]bool, len(en.ids))
+			for _, id := range en.ids {
+				en.member[id] = true
+			}
+		})
+		if computed {
+			c.misses.Add(1)
+			mCandSetMisses.Inc()
+		} else {
+			c.hits.Add(1)
+			mCandSetHits.Inc()
+		}
+		if en.version == e.DataVersion() || attempt >= 8 {
+			return en
+		}
+		mCandSetStale.Inc()
+		c.mu.Lock()
+		if c.entries[key] == en {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+}
+
+// candKey builds the cache key for one alias-local predicate: the table name
+// plus the resolved predicate signature. Column positions, operators, and
+// kind-tagged literal values identify the candidate set exactly; the alias
+// name does not participate, which is the whole point — t0 and t3 bound to
+// the same relation with the same keyword share one set.
+func candKey(table string, p rpred) string {
+	var sb strings.Builder
+	sb.WriteString(table)
+	sb.WriteByte(0)
+	appendPredSig(&sb, p)
+	return sb.String()
+}
+
+func appendPredSig(sb *strings.Builder, p rpred) {
+	switch pr := p.(type) {
+	case *rcmp:
+		fmt.Fprintf(sb, "c%d;%s;", pr.left.c, pr.op)
+		switch pr.lit.Kind {
+		case sqltext.LitInt:
+			fmt.Fprintf(sb, "i%d", pr.lit.I)
+		case sqltext.LitFloat:
+			fmt.Fprintf(sb, "f%g", pr.lit.F)
+		case sqltext.LitString:
+			sb.WriteByte('s')
+			sb.WriteString(pr.lit.S)
+		}
+	case *ror:
+		sb.WriteByte('(')
+		for _, t := range pr.terms {
+			appendPredSig(sb, t)
+			sb.WriteByte('|')
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// indexableShape reports whether indexable() would accept the predicate,
+// without touching any index — the structural precondition shared by the
+// cached and uncached planning paths. Must mirror indexable's cases exactly.
+func indexableShape(bq *boundQuery, a int, p rpred) bool {
+	switch pr := p.(type) {
+	case *rcmp:
+		if pr.isCol {
+			return false
+		}
+		col := bq.rels[a].Columns[pr.left.c]
+		return pr.op == sqltext.OpContains ||
+			(pr.op == sqltext.OpEq && col.Type == catalog.Int && pr.lit.Kind == sqltext.LitInt)
+	case *ror:
+		for _, t := range pr.terms {
+			if !indexableShape(bq, a, t) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// candidateSet resolves one indexable local predicate to its candidate rows,
+// through the cache when one is supplied. The bool mirrors indexable's: false
+// means the predicate has no index path and must be evaluated per row.
+func (e *Engine) candidateSet(bq *boundQuery, ix *invidx.Index, a int, p rpred, cands *CandidateCache) ([]storage.RowID, map[storage.RowID]bool, bool) {
+	if !indexableShape(bq, a, p) {
+		return nil, nil, false
+	}
+	if cands == nil {
+		ids, _ := e.indexable(bq, ix, a, p)
+		return ids, nil, true
+	}
+	en := cands.get(e, candKey(bq.rels[a].Name, p), func() []storage.RowID {
+		ids, _ := e.indexable(bq, ix, a, p)
+		return ids
+	})
+	return en.ids, en.member, true
+}

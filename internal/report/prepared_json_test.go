@@ -1,0 +1,54 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"kwsdbg/internal/core"
+)
+
+// scrub zeroes the fields the determinism guarantee excludes — wall times and
+// cache accounting — so the rendered JSON can be compared byte for byte.
+func scrub(out *core.Output) *core.Output {
+	n := *out
+	n.Stats.MapTime, n.Stats.PruneTime, n.Stats.MTNTime = 0, 0, 0
+	n.Stats.SQLTime, n.Stats.TraverseTime = 0, 0
+	n.Stats.CacheHits = 0
+	n.Stats.PlanCompiles, n.Stats.CandSetHits, n.Stats.CandSetMisses = 0, 0, 0
+	return &n
+}
+
+// The acceptance property at the report boundary: a prepared-path run renders
+// byte-identical JSON (including SQL text) to the text-path run at every
+// worker count.
+func TestJSONPreparedTextByteIdentity(t *testing.T) {
+	sys, _ := exampleOutput(t)
+	for _, kws := range [][]string{
+		{"saffron", "scented", "candle"},
+		{"red", "oil"},
+		{"vanilla"},
+	} {
+		ref, err := sys.Debug(kws, core.Options{Strategy: core.SBH, BypassCache: true, TextProbes: true})
+		if err != nil {
+			t.Fatalf("Debug text %v: %v", kws, err)
+		}
+		var want bytes.Buffer
+		if err := JSON(&want, scrub(ref), true); err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			out, err := sys.Debug(kws, core.Options{Strategy: core.SBH, Workers: workers, BypassCache: true})
+			if err != nil {
+				t.Fatalf("Debug prepared %v workers=%d: %v", kws, workers, err)
+			}
+			var got bytes.Buffer
+			if err := JSON(&got, scrub(out), true); err != nil {
+				t.Fatalf("JSON: %v", err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Errorf("%v workers=%d: prepared JSON diverges from text JSON\ngot:  %s\nwant: %s",
+					kws, workers, got.String(), want.String())
+			}
+		}
+	}
+}

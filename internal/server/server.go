@@ -5,7 +5,7 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200]
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200][&probe_path=prepared|text]
 //	GET /search?q=red+candle[&k=10]
 //	GET /metrics
 //	GET /healthz
@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"kwsdbg/internal/core"
+	"kwsdbg/internal/engine"
 	"kwsdbg/internal/obs"
 	"kwsdbg/internal/report"
 )
@@ -255,6 +256,18 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 			budget = b
 		}
 	}
+	// probe_path selects the Phase 3 execution path: compiled engine
+	// handles (the default) or the rendered-SQL text path. The outputs are
+	// identical; the knob exists for benchmarking and debugging.
+	textProbes := false
+	switch raw := r.URL.Query().Get("probe_path"); raw {
+	case "", "prepared":
+	case "text":
+		textProbes = true
+	default:
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad probe_path parameter %q (want prepared or text)", raw))
+		return
+	}
 	release, ok := s.admit(r.Context())
 	if !ok {
 		s.shed(w)
@@ -271,6 +284,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 		Strategy:    strat,
 		Workers:     workers,
 		BypassCache: r.URL.Query().Get("cache") == "0",
+		TextProbes:  textProbes,
 		Deadline:    deadline,
 		ProbeBudget: budget,
 	})
@@ -376,6 +390,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"generation":         st.Generation,
 		}
 	}
+	// Both plan caches: the debugger's probe-handle cache and the engine's
+	// text-path cache, keyed in the JSON by their metric path label.
+	plans := map[string]any{}
+	for _, c := range []*engine.PreparedCache{s.sys.PreparedCache(), s.sys.Engine().PlanCache()} {
+		st := c.Stats()
+		plans[st.Path] = map[string]any{
+			"entries":   st.Entries,
+			"hits":      st.Hits,
+			"misses":    st.Misses,
+			"evictions": st.Evictions,
+		}
+	}
+	body["plan_cache"] = plans
 	s.writeJSON(w, http.StatusOK, body)
 }
 

@@ -1,0 +1,55 @@
+package sqltext
+
+import "testing"
+
+func mustSelect(t *testing.T, sql string) *Select {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", sql, err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("Parse(%s) = %T, want *Select", sql, stmt)
+	}
+	return sel
+}
+
+// CanonicalKey must collapse spelling variants of the same query — the
+// property the engine's text-path plan cache depends on — and must be a
+// fixpoint: parsing the key and keying again changes nothing.
+func TestCanonicalKey(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT * FROM Item",
+			"select  *  from  Item",
+			"SELECT *\nFROM Item",
+		},
+		{
+			"SELECT 1 FROM Item t0 WHERE t0.name CONTAINS 'candle' LIMIT 1",
+			"SELECT 1 FROM Item AS t0 WHERE (t0.name CONTAINS 'candle') LIMIT 1",
+		},
+		{
+			"SELECT t1.name FROM PType t0, Item t1 WHERE t1.ptype = t0.id AND t0.ptype = 'oil'",
+			"SELECT t1.name FROM PType AS t0 , Item AS t1 WHERE (t1.ptype = t0.id) AND (t0.ptype = 'oil')",
+		},
+	}
+	seen := map[string]int{}
+	for gi, group := range groups {
+		key0 := CanonicalKey(mustSelect(t, group[0]))
+		for _, sql := range group[1:] {
+			if key := CanonicalKey(mustSelect(t, sql)); key != key0 {
+				t.Errorf("variant %q keyed %q, want %q", sql, key, key0)
+			}
+		}
+		// Fixpoint: the key is itself parseable and keys to itself.
+		if again := CanonicalKey(mustSelect(t, key0)); again != key0 {
+			t.Errorf("CanonicalKey not a fixpoint: %q -> %q", key0, again)
+		}
+		// Distinct queries must not collide.
+		if prev, ok := seen[key0]; ok {
+			t.Errorf("groups %d and %d share key %q", prev, gi, key0)
+		}
+		seen[key0] = gi
+	}
+}

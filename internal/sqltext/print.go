@@ -25,6 +25,18 @@ func Print(s Statement) string {
 	return sb.String()
 }
 
+// CanonicalKey renders a SELECT as its canonical cache-key text. Because the
+// printer is a fixpoint of parse (print -> parse -> print is the identity,
+// property-tested in print_test.go), every surface spelling of one query —
+// extra whitespace, keyword case — converges to the same key after a parse,
+// which is what lets the engine's plan cache key compiled handles by query
+// identity rather than by byte equality.
+func CanonicalKey(sel *Select) string {
+	var sb strings.Builder
+	printSelect(&sb, sel)
+	return sb.String()
+}
+
 func printCreate(sb *strings.Builder, ct *CreateTable) {
 	sb.WriteString("CREATE TABLE ")
 	sb.WriteString(ct.Name)

@@ -1,14 +1,35 @@
 GO ?= go
 
-.PHONY: all build vet test race verify experiments bench chaos
+.PHONY: all build vet lint test race verify experiments bench chaos
 
 all: verify
 
 build:
 	$(GO) build ./...
 
+# vet runs the default analyzer set, then copylocks as an explicit pass so a
+# future change to the default set can never silently drop it (the guarded
+# structs of probecache/engine/core must not be copied). shadow and nilness
+# are x/tools vettools; they run when installed and skip with a note when the
+# environment has no network to install them.
 vet:
 	$(GO) vet ./...
+	$(GO) vet -copylocks ./...
+	@if command -v shadow >/dev/null 2>&1; then \
+		$(GO) vet -vettool="$$(command -v shadow)" ./...; \
+	else \
+		echo "vet: shadow not installed, skipping (go install golang.org/x/tools/go/analysis/passes/shadow/cmd/shadow@latest)"; \
+	fi
+	@if command -v nilness >/dev/null 2>&1; then \
+		$(GO) vet -vettool="$$(command -v nilness)" ./...; \
+	else \
+		echo "vet: nilness not installed, skipping (go install golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@latest)"; \
+	fi
+
+# lint runs the repo's own analyzer suite (cmd/kwslint): determinism,
+# ctxflow, metricname, lockcheck, errwrap. See DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/kwslint ./...
 
 test:
 	$(GO) test ./...
@@ -20,7 +41,7 @@ test:
 race:
 	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache
 
-verify: build vet test race
+verify: build vet lint test race
 
 experiments:
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3

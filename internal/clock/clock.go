@@ -1,0 +1,49 @@
+// Package clock is the single sanctioned wall-clock entry point for the
+// deterministic pipeline packages (core, lattice, report, sqltext).
+//
+// The paper's debugging guarantee rests on Phase 3 being a pure function of
+// the data: the same lattice and keyword set must classify the same MTNs and
+// report the same MPANs regardless of worker count, probe path, or cache
+// state. Wall-clock reads are the easiest way to break that silently — a
+// timestamp that leaks into a comparison, a hash, or an output struct makes
+// two identical runs diverge. The kwslint determinism analyzer therefore
+// forbids time.Now / time.Since (and math/rand) in the output-affecting
+// packages; timing *measurement* — phase latencies, probe durations, the
+// Stats fields the paper's figures are built from — goes through this
+// package instead, which keeps every wall-clock read grep-able, reviewable,
+// and confined to code whose results feed metrics rather than answers.
+//
+// The funcvar indirection also gives tests a seam: freezing the clock makes
+// latency-derived output (reports that print elapsed milliseconds) fully
+// reproducible.
+package clock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// nowFn is the active time source. It is swapped atomically so a test
+// overriding the clock races neither concurrent readers nor the restore.
+var nowFn atomic.Pointer[func() time.Time]
+
+func init() {
+	f := time.Now
+	nowFn.Store(&f)
+}
+
+// Now returns the current time from the active source.
+func Now() time.Time { return (*nowFn.Load())() }
+
+// Since returns the elapsed time since t, measured against the active
+// source.
+func Since(t time.Time) time.Duration { return Now().Sub(t) }
+
+// SetForTest replaces the time source and returns a restore function.
+// Intended for tests that need reproducible latency fields; production code
+// must never call it.
+func SetForTest(f func() time.Time) (restore func()) {
+	prev := nowFn.Load()
+	nowFn.Store(&f)
+	return func() { nowFn.Store(prev) }
+}

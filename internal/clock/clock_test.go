@@ -1,0 +1,30 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowTracksRealClock(t *testing.T) {
+	before := time.Now()
+	got := Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Now() = %v, want within [%v, %v]", got, before, after)
+	}
+}
+
+func TestSetForTestFreezesAndRestores(t *testing.T) {
+	frozen := time.Date(2015, 3, 23, 12, 0, 0, 0, time.UTC) // EDBT 2015
+	restore := SetForTest(func() time.Time { return frozen })
+	if got := Now(); !got.Equal(frozen) {
+		t.Fatalf("Now() under frozen clock = %v, want %v", got, frozen)
+	}
+	if got := Since(frozen.Add(-time.Minute)); got != time.Minute {
+		t.Fatalf("Since under frozen clock = %v, want 1m", got)
+	}
+	restore()
+	if got := Since(time.Now()); got > time.Minute || got < -time.Minute {
+		t.Fatalf("clock not restored: Since(now) = %v", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
@@ -408,7 +409,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	}
 	workers := ClampWorkers(opts.Workers)
 	_, sp3 := obs.StartSpan(ctx, "phase3")
-	start := time.Now()
+	start := clock.Now()
 	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers, gov)
 	if err == nil {
 		// A caller cancellation that lands after the last commit must not
@@ -424,7 +425,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		out.Incomplete = true
 		out.IncompleteReason = reason
 	}
-	out.Stats.TraverseTime = time.Since(start)
+	out.Stats.TraverseTime = clock.Since(start)
 	ost := base.Stats()
 	out.Stats.SQLExecuted = ost.Executed
 	out.Stats.SQLTime = ost.SQLTime
@@ -531,7 +532,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 	ph.stats.LatticeNodes = sys.lat.Len()
 
 	// Phase 1a: keyword -> relation binding via the inverted index.
-	start := time.Now()
+	start := clock.Now()
 	ix := sys.eng.Index()
 	for _, kw := range keywords {
 		tables := ix.Tables(kw)
@@ -545,7 +546,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 		}
 		ph.bindings = append(ph.bindings, set)
 	}
-	ph.stats.MapTime = time.Since(start)
+	ph.stats.MapTime = clock.Since(start)
 	mPhaseSeconds.With("map").Observe(ph.stats.MapTime.Seconds())
 	if len(ph.nonKeywords) > 0 {
 		// "And" semantics: a keyword absent from the data means the whole
@@ -554,7 +555,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 	}
 
 	// Phase 1b: prune nodes with unbindable keyword copies.
-	start = time.Now()
+	start = clock.Now()
 	n := len(keywords)
 	for id := 0; id < sys.lat.Len(); id++ {
 		node := sys.lat.Node(id)
@@ -572,7 +573,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 			ph.surviving = append(ph.surviving, id)
 		}
 	}
-	ph.stats.PruneTime = time.Since(start)
+	ph.stats.PruneTime = clock.Since(start)
 	ph.stats.PrunedNodes = len(ph.surviving)
 	mPhaseSeconds.With("prune").Observe(ph.stats.PruneTime.Seconds())
 
@@ -580,7 +581,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 	// keyword index occurs among its copies; it is minimal when no
 	// leaf-removed child is total. (Children of survivors always survive:
 	// pruning is downward closed.)
-	start = time.Now()
+	start = clock.Now()
 	ph.stats.MTNLevels = make(map[int]int)
 	for _, id := range ph.surviving {
 		node := sys.lat.Node(id)
@@ -599,7 +600,7 @@ func (sys *System) phase12(keywords []string) (*phase12Result, error) {
 			ph.stats.MTNLevels[node.Level]++
 		}
 	}
-	ph.stats.MTNTime = time.Since(start)
+	ph.stats.MTNTime = clock.Since(start)
 	ph.stats.MTNs = len(ph.mtnIDs)
 	mPhaseSeconds.With("mtn").Observe(ph.stats.MTNTime.Seconds())
 	sort.Ints(ph.mtnIDs)

@@ -42,8 +42,10 @@ type governor struct {
 	limited   bool
 	remaining atomic.Int64
 
-	mu     sync.Mutex
-	reason string // first allowance to run out; "" while none has
+	mu sync.Mutex
+	// reason is the first allowance to run out; "" while none has.
+	// guarded by mu.
+	reason string
 }
 
 func newGovernor(parent, probeCtx context.Context, budget int) *governor {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/lattice"
 )
 
@@ -37,7 +38,7 @@ func (sys *System) OnlineCandidateNetworks(keywords []string) (*OnlineCNResult, 
 	if len(ph.nonKeywords) > 0 {
 		return &OnlineCNResult{}, nil
 	}
-	start := time.Now()
+	start := clock.Now()
 	allow := func(rel string, copy int) bool {
 		return copy <= len(keywords) && ph.bindings[copy-1][rel]
 	}
@@ -70,6 +71,6 @@ func (sys *System) OnlineCandidateNetworks(keywords []string) (*OnlineCNResult, 
 		}
 	}
 	sort.Strings(res.MTNLabels)
-	res.Elapsed = time.Since(start)
+	res.Elapsed = clock.Since(start)
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/probecache"
@@ -158,7 +159,7 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	// The timer covers full probe servicing — handle lookup (or compile)
 	// plus execution — mirroring the text path, which times render plus
 	// execution; SQLTime is therefore comparable across the two paths.
-	start := time.Now()
+	start := clock.Now()
 	h, err := o.handle(nodeID)
 	if err != nil {
 		return false, err
@@ -169,7 +170,7 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	}
 	alive := len(res.Rows) > 0
 	o.executed.Add(1)
-	o.sqlNanos.Add(int64(time.Since(start)))
+	o.sqlNanos.Add(int64(clock.Since(start)))
 	if o.cache != nil {
 		o.cache.Put(key, alive)
 	}
@@ -229,7 +230,7 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 	}
 	// Rendering is inside the timer: it is part of servicing a text-path
 	// probe, and skipping it is precisely what the prepared path is for.
-	start := time.Now()
+	start := clock.Now()
 	query, err := o.lat.SQL(o.lat.Node(nodeID), o.keywords, true)
 	if err != nil {
 		return false, fmt.Errorf("core: render node %d: %w", nodeID, err)
@@ -247,7 +248,7 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 		return false, closeErr
 	}
 	o.executed.Add(1)
-	o.sqlNanos.Add(int64(time.Since(start)))
+	o.sqlNanos.Add(int64(clock.Since(start)))
 	if o.cache != nil {
 		o.cache.Put(key, alive)
 	}

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -235,7 +236,7 @@ func (e *Engine) execInsert(ins *sqltext.Insert) error {
 		for i, lit := range litRow {
 			v, err := literalValue(lit, rel.Columns[i].Type)
 			if err != nil {
-				return fmt.Errorf("engine: INSERT INTO %s.%s: %v", ins.Table, rel.Columns[i].Name, err)
+				return fmt.Errorf("engine: INSERT INTO %s.%s: %w", ins.Table, rel.Columns[i].Name, err)
 			}
 			row[i] = v
 		}
@@ -248,6 +249,12 @@ func (e *Engine) execInsert(ins *sqltext.Insert) error {
 
 // literalValue coerces a parsed literal to a column type. Integers widen to
 // floats; everything else must match exactly.
+// ErrLiteralType marks literal/column type mismatches in predicates and
+// INSERT rows. Callers classify with errors.Is: the debugger distinguishes
+// a malformed probe (a bug in SQL rendering) from a transient execution
+// failure (retryable), so the sentinel must survive the wrapping layers.
+var ErrLiteralType = errors.New("engine: literal does not fit column type")
+
 func literalValue(lit sqltext.Literal, want catalog.ColType) (storage.Value, error) {
 	switch want {
 	case catalog.Int:
@@ -266,5 +273,5 @@ func literalValue(lit sqltext.Literal, want catalog.ColType) (storage.Value, err
 			return storage.TextV(lit.S), nil
 		}
 	}
-	return storage.Value{}, fmt.Errorf("literal %v does not fit column type %v", lit, want)
+	return storage.Value{}, fmt.Errorf("literal %v does not fit column type %v: %w", lit, want, ErrLiteralType)
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -764,5 +765,50 @@ func TestExplain(t *testing.T) {
 	}
 	if _, err := e.Explain("not sql"); err == nil {
 		t.Error("Explain accepted garbage")
+	}
+}
+
+// TestErrLiteralTypeClassifiable locks in the errors.Is contract: a literal /
+// column type mismatch — whether it surfaces while resolving a predicate or
+// while coercing an INSERT row — must stay classifiable as ErrLiteralType
+// through every wrapping layer. A regression here (flattening with %v) would
+// make the debugger treat malformed probes as transient failures.
+func TestErrLiteralTypeClassifiable(t *testing.T) {
+	e := productEngine(t)
+
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"predicate string literal on INT column", func() error {
+			_, err := e.Query(`SELECT * FROM Item i WHERE i.id = 'three'`)
+			return err
+		}},
+		{"predicate int literal on TEXT column", func() error {
+			_, err := e.Query(`SELECT * FROM Item i WHERE i.name = 7`)
+			return err
+		}},
+		{"LIKE on non-TEXT column", func() error {
+			_, err := e.Query(`SELECT * FROM Item i WHERE i.cost LIKE 'cheap'`)
+			return err
+		}},
+		{"INSERT string into INT column", func() error {
+			_, err := e.Exec(`INSERT INTO PType VALUES ('four', 'wax')`)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		err := tc.run()
+		if err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
+		}
+		if !errors.Is(err, ErrLiteralType) {
+			t.Errorf("%s: errors.Is(err, ErrLiteralType) = false for %v", tc.name, err)
+		}
+	}
+
+	// Well-typed statements must not trip the sentinel path.
+	if _, err := e.Query(`SELECT * FROM Item i WHERE i.id = 3`); err != nil {
+		t.Fatalf("well-typed query failed: %v", err)
 	}
 }

@@ -360,7 +360,7 @@ func (bq *boundQuery) resolvePred(p sqltext.Predicate) (rpred, error) {
 		out.lit = pr.Right.Lit
 		lt := bq.rels[left.a].Columns[left.c].Type
 		if err := checkLiteralType(lt, pr.Op, pr.Right.Lit); err != nil {
-			return nil, fmt.Errorf("engine: %s.%s: %v", bq.rels[left.a].Name, bq.rels[left.a].Columns[left.c].Name, err)
+			return nil, fmt.Errorf("engine: %s.%s: %w", bq.rels[left.a].Name, bq.rels[left.a].Columns[left.c].Name, err)
 		}
 		return out, nil
 	case sqltext.OrGroup:
@@ -383,18 +383,18 @@ func checkLiteralType(col catalog.ColType, op sqltext.CmpOp, lit sqltext.Literal
 	switch op {
 	case sqltext.OpLike, sqltext.OpNotLike, sqltext.OpContains:
 		if col != catalog.Text {
-			return fmt.Errorf("%s requires a TEXT column", op)
+			return fmt.Errorf("%s requires a TEXT column: %w", op, ErrLiteralType)
 		}
 		return nil
 	}
 	switch col {
 	case catalog.Text:
 		if lit.Kind != sqltext.LitString {
-			return fmt.Errorf("cannot compare TEXT with non-string literal")
+			return fmt.Errorf("cannot compare TEXT with non-string literal: %w", ErrLiteralType)
 		}
 	default:
 		if lit.Kind == sqltext.LitString {
-			return fmt.Errorf("cannot compare %v with string literal", col)
+			return fmt.Errorf("cannot compare %v with string literal: %w", col, ErrLiteralType)
 		}
 	}
 	return nil

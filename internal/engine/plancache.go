@@ -24,11 +24,14 @@ type PreparedCache struct {
 	// for the debugger's handle cache.
 	path string
 
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
+	mu  sync.Mutex
+	max int
+	// ll is the recency list. guarded by mu.
+	ll *list.List
+	// items indexes ll by key. guarded by mu.
 	items map[string]*list.Element
 
+	// hits, misses, and evictions feed Stats. guarded by mu.
 	hits, misses, evictions int64
 }
 

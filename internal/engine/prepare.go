@@ -152,7 +152,9 @@ func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache) (*Result
 // INSERT between probes can never serve a stale set. The zero value is not
 // usable; see NewCandidateCache. Safe for concurrent use.
 type CandidateCache struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// entries maps predicate signature to its single-flight slot.
+	// guarded by mu.
 	entries map[string]*candEntry
 
 	hits   atomic.Int64

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/clock"
 )
 
 // LevelStats records generation effort for one lattice level, the quantities
@@ -123,11 +124,11 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 		lb:      newLabeler(schema, opts.KeywordSlots),
 		byLabel: make(map[string]int),
 	}
-	buildStart := time.Now()
+	buildStart := clock.Now()
 
 	// Base level: single-vertex nodes. Copy 0 is the free tuple set R0 the
 	// paper maintains in addition to the keyword copies R1..Rm+1.
-	start := time.Now()
+	start := clock.Now()
 	var base []*Node
 	for _, name := range schema.RelationNames() {
 		for c := 0; c <= l.copies(name); c++ {
@@ -145,7 +146,7 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 			st.Duplicates++
 		}
 	}
-	st.Elapsed = time.Since(start)
+	st.Elapsed = clock.Since(start)
 	l.stats = append(l.stats, st)
 
 	// Higher levels: extend every vertex of every level-(k-1) node along
@@ -157,7 +158,7 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	for level := 2; level <= opts.MaxJoins+1; level++ {
-		start = time.Now()
+		start = clock.Now()
 		st = LevelStats{Level: level}
 		prev := l.levels[level-2]
 		// Buckets are indexed by source node so the merge replays the exact
@@ -193,13 +194,13 @@ func generate(schema *catalog.Schema, opts Options, allow func(rel string, copy 
 				}
 			}
 		}
-		st.Elapsed = time.Since(start)
+		st.Elapsed = clock.Since(start)
 		l.stats = append(l.stats, st)
 	}
 
 	l.link(workers)
 	l.sortLevels()
-	l.record("generate", time.Since(buildStart))
+	l.record("generate", clock.Since(buildStart))
 	return l, nil
 }
 

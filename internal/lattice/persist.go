@@ -4,9 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"time"
 
 	"kwsdbg/internal/catalog"
+	"kwsdbg/internal/clock"
 )
 
 // persistVersion guards the on-disk format.
@@ -57,7 +57,7 @@ func (l *Lattice) Save(w io.Writer) error {
 // relations, columns, and edges must render identically), because node
 // vertex names and edge IDs index into it.
 func Load(r io.Reader, schema *catalog.Schema) (*Lattice, error) {
-	loadStart := time.Now()
+	loadStart := clock.Now()
 	var in latticeGob
 	if err := gob.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("lattice: load: %w", err)
@@ -108,6 +108,6 @@ func Load(r io.Reader, schema *catalog.Schema) (*Lattice, error) {
 		}
 	}
 	l.sortLevels()
-	l.record("load", time.Since(loadStart))
+	l.record("load", clock.Since(loadStart))
 	return l, nil
 }

@@ -1,0 +1,75 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The build environment vendors nothing, so the x/tools module is not
+// available; this package provides exactly the subset kwslint needs —
+// single-package passes over syntax plus types.Info, position-addressed
+// diagnostics — and none of the machinery it does not (facts, result
+// dependencies, SuggestedFixes). Analyzer names are short ("determinism");
+// their user-facing check IDs carry the kwslint/ prefix ("kwslint/
+// determinism"), which is also the name suppression directives use (see
+// package ignore).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name is the short analyzer name, e.g. "determinism". It must be
+	// unique across the suite and match ^[a-z][a-z0-9]*$.
+	Name string
+
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// enforces, shown by `kwslint -list`.
+	Doc string
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Check returns the fully qualified check ID used in diagnostics and in
+// //lint:ignore directives.
+func (a *Analyzer) Check() string { return "kwslint/" + a.Name }
+
+// Diagnostic is one finding, addressed by token position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Check   string // fully qualified, e.g. "kwslint/determinism"
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Diags accumulates findings in report order; drivers sort before
+	// printing so output is deterministic regardless of traversal order.
+	Diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Diags = append(p.Diags, Diagnostic{
+		Pos:     pos,
+		Check:   p.Analyzer.Check(),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file in the pass in source order.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,128 @@
+// Package ctxflow enforces context threading through request paths.
+//
+// Every cancellable operation in the repo — SQL probes via SelectContext /
+// ExecContext / QueryContext, traversal admission via the governor,
+// goroutines spawned by the scheduler — is cancellable only if the caller's
+// context actually reaches it. A function that accepts a context.Context
+// and then drops it, or mints a fresh context.Background() /
+// context.TODO() mid-path, silently severs cancellation and deadlines for
+// everything downstream: the server's per-request deadline stops bounding
+// probe time, and load shedding stops reclaiming workers.
+//
+// Two checks:
+//
+//  1. A named, non-blank context.Context parameter must be used somewhere
+//     in the function body.
+//  2. A function that receives a context must not call
+//     context.Background() or context.TODO(); it must derive from the
+//     context it was handed.
+//
+// Top-level convenience wrappers without a context parameter (Select,
+// Session.Run) stay legal: minting a root context is exactly their job.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsdbg/internal/lint/analysis"
+)
+
+// Analyzer is the context-threading checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "a function receiving a context.Context must thread it onward, " +
+		"not drop it or mint context.Background()/TODO() mid-path",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(pass, fd)
+			if len(params) == 0 {
+				continue
+			}
+			checkFunc(pass, fd, params)
+		}
+	}
+	return nil
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of fd.
+func ctxParams(pass *analysis.Pass, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, params []*types.Var) {
+	used := make(map[*types.Var]bool, len(params))
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+				for _, p := range params {
+					if v == p {
+						used[p] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := rootContextCall(pass, n); ok {
+				pass.Reportf(n.Pos(),
+					"%s receives a context.Context but mints context.%s here; derive from the caller's context so cancellation and deadlines propagate",
+					fd.Name.Name, name)
+			}
+		}
+		return true
+	})
+	for _, p := range params {
+		if !used[p] {
+			pass.Reportf(p.Pos(),
+				"%s drops its context.Context parameter %q; thread it to the probes/goroutines below or remove it",
+				fd.Name.Name, p.Name())
+		}
+	}
+}
+
+// rootContextCall matches context.Background() and context.TODO().
+func rootContextCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if n := fn.Name(); n == "Background" || n == "TODO" {
+		return n, true
+	}
+	return "", false
+}

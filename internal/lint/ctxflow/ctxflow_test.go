@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/ctxflow"
+	"kwsdbg/internal/lint/linttest"
+)
+
+func TestCtxflowFixture(t *testing.T) {
+	linttest.Run(t, ctxflow.Analyzer, "testdata/ctx")
+}

@@ -1,0 +1,62 @@
+// Package ctx is the ctxflow analyzer's fixture: dropped contexts, minted
+// roots, and the legal shapes on either side of the rule.
+package ctx
+
+import "context"
+
+func work(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// drops takes a context and never touches it.
+func drops(ctx context.Context) error { // want `drops drops its context\.Context parameter "ctx"`
+	return nil
+}
+
+// mints uses its context but still manufactures a root mid-path, severing
+// the caller's deadline for everything below.
+func mints(ctx context.Context) error {
+	if err := work(ctx); err != nil {
+		return err
+	}
+	return work(context.Background()) // want `mints receives a context\.Context but mints context\.Background`
+}
+
+func mintsTODO(ctx context.Context) error {
+	_ = ctx
+	return work(context.TODO()) // want `mintsTODO receives a context\.Context but mints context\.TODO`
+}
+
+// threads is the correct shape: the parameter reaches the callee.
+func threads(ctx context.Context) error {
+	return work(ctx)
+}
+
+// derives is also fine: children of the caller's context keep its deadline.
+func derives(ctx context.Context) error {
+	child, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(child)
+}
+
+// root has no context parameter, so minting one is exactly its job.
+func root() error {
+	return work(context.Background())
+}
+
+// blank declares it wants no cancellation; that is an explicit choice.
+func blank(_ context.Context) error {
+	return nil
+}
+
+// waived records why a root context is correct here.
+func waived(ctx context.Context) error {
+	_ = ctx
+	//lint:ignore kwslint/ctxflow detached audit write must outlive the request
+	return work(context.Background())
+}

@@ -1,0 +1,45 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/determinism"
+	"kwsdbg/internal/lint/linttest"
+)
+
+// TestDeterminismFixture widens Scope to the fixture package and checks
+// every diagnostic class against the fixture's want comments — including
+// that a reason-less suppression suppresses nothing.
+func TestDeterminismFixture(t *testing.T) {
+	old := determinism.Scope
+	determinism.Scope = func(string) bool { return true }
+	defer func() { determinism.Scope = old }()
+	linttest.Run(t, determinism.Analyzer, "testdata/det")
+}
+
+// TestOutOfScopePackagesUnchecked leaves Scope at its default: the fixture
+// is full of would-be violations, and none may be reported, because the
+// determinism invariant binds only the output-affecting packages.
+func TestOutOfScopePackagesUnchecked(t *testing.T) {
+	linttest.Run(t, determinism.Analyzer, "testdata/outofscope")
+}
+
+// TestDefaultScope pins the output-affecting package list: a change here is
+// a deliberate contract change, not an accident.
+func TestDefaultScope(t *testing.T) {
+	for _, pkg := range []string{
+		"kwsdbg/internal/core",
+		"kwsdbg/internal/lattice",
+		"kwsdbg/internal/report",
+		"kwsdbg/internal/sqltext",
+	} {
+		if !determinism.Scope(pkg) {
+			t.Errorf("Scope(%q) = false, want true", pkg)
+		}
+	}
+	for _, pkg := range []string{"kwsdbg/internal/bench", "kwsdbg/internal/server", "kwsdbg/internal/obs"} {
+		if determinism.Scope(pkg) {
+			t.Errorf("Scope(%q) = true, want false", pkg)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package det is the determinism analyzer's fixture: every violation class
+// the analyzer knows, next to the laundered/commutative shapes it must leave
+// alone. The test widens determinism.Scope to cover this package.
+package det
+
+import (
+	"fmt"
+	"io"
+	_ "math/rand" // want `import of math/rand in output-affecting package`
+	"sort"
+	"strings"
+	"time"
+)
+
+// badnow mirrors the planted violation of internal/core/traverse.go: a raw
+// wall-clock read inside an output-affecting package.
+func badnow() int64 {
+	return time.Now().UnixNano() // want `use of time\.Now`
+}
+
+// badvalue proves value uses are caught, not just calls.
+func badvalue() func() time.Time {
+	f := time.Now // want `use of time\.Now`
+	return f
+}
+
+func badsleep() {
+	time.Sleep(time.Millisecond) // want `use of time\.Sleep`
+}
+
+// durationMath stays legal: only when-did-it-run reads are forbidden.
+func durationMath(d time.Duration) time.Duration { return 2 * d }
+
+// waived shows the sanctioned escape hatch: a directive with a reason.
+func waived() int64 {
+	//lint:ignore kwslint/determinism fixture exercises the waiver path
+	return time.Now().UnixNano()
+}
+
+// noReason shows that a reason-less directive suppresses nothing and is
+// itself reported.
+func noReason() int64 {
+	/*lint:ignore kwslint/determinism*/ // want `lint:ignore directive needs a non-empty reason`
+	return time.Now().UnixNano() // want `use of time\.Now`
+}
+
+// renderCounts mirrors the planted violation of internal/report: map
+// iteration order flowing into an ordered slice with no laundering sort.
+func renderCounts(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k) // want `map iteration order flows into slice "out"`
+	}
+	return out
+}
+
+// renderSorted launders the iteration order and stays clean.
+func renderSorted(counts map[string]int) []string {
+	var out []string
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// firstKey returns mid-iteration: which key wins depends on map order.
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return inside a map range`
+	}
+	return ""
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `map iteration order flows into string s`
+	}
+	return s
+}
+
+func buildString(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `strings\.Builder`
+	}
+	return b.String()
+}
+
+func dump(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) // want `fmt\.Fprintln`
+	}
+}
+
+// invert is commutative — map writes are order-independent — and stays
+// clean, as does counting.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	total := 0
+	for k, v := range m {
+		out[v] = k
+		total += v
+	}
+	_ = total
+	return out
+}
+
+// localSlice accumulates into a loop-local slice that never escapes the
+// iteration; the analyzer leaves loop-scoped state alone.
+func localSlice(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		tmp := []int{}
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,20 @@
+// Package outofscope holds determinism violations in a package the default
+// Scope does not cover: with Scope left alone, the analyzer must report
+// nothing here (timing in the governor and benchmarks is legitimate).
+package outofscope
+
+import "time"
+
+func legitimateTiming() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Microsecond)
+	return time.Since(start)
+}
+
+func anyOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package errwrap enforces the repo's error-chain discipline.
+//
+// The governor's graceful-degradation logic, the engine's transient-fault
+// retries, and the server's status mapping all classify failures with
+// errors.Is — which only works while every layer preserves the chain. Two
+// checks:
+//
+//  1. fmt.Errorf formatting an error value must use %w: an error flattened
+//     with %v or %s is invisible to errors.Is/As downstream (this is how a
+//     retryable fault turns into a permanent 500).
+//  2. Error values must not be compared with == or != (except against
+//     nil); sentinel checks go through errors.Is, which sees through
+//     wrapping.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"kwsdbg/internal/lint/analysis"
+)
+
+// Analyzer is the error-wrapping checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: "fmt.Errorf over error values must wrap with %w, and sentinel " +
+		"comparisons must use errors.Is rather than == / !=",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				// Package-level initializers can still build errors.
+				ast.Inspect(decl, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						checkErrorf(pass, call)
+					}
+					return true
+				})
+				continue
+			}
+			// An Is(error) bool method is the errors.Is protocol itself:
+			// comparing target against the sentinel there is the idiom the
+			// rest of the rule exists to enable.
+			isMethod := fd.Name.Name == "Is" && fd.Recv != nil
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorf(pass, n)
+				case *ast.BinaryExpr:
+					if !isMethod {
+						checkComparison(pass, n)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string: nothing to prove
+	}
+	format := constant.StringVal(tv.Value)
+	wraps := strings.Count(strings.ReplaceAll(format, "%%", ""), "%w")
+
+	errArgs := 0
+	var firstErr ast.Expr
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.TypeOf(arg)
+		if t == nil {
+			continue
+		}
+		if isErrorInterface(t) {
+			errArgs++
+			if firstErr == nil {
+				firstErr = arg
+			}
+		}
+	}
+	if errArgs > wraps && firstErr != nil {
+		pass.Reportf(firstErr.Pos(),
+			"fmt.Errorf formats an error value without %%w; wrap it so errors.Is/As can see the cause")
+	}
+}
+
+// isErrorInterface reports whether t is the error interface (the static
+// type of an err variable). Concrete error implementations are left alone:
+// formatting a concrete type with %v is often deliberate rendering.
+func isErrorInterface(t types.Type) bool {
+	it, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Identical(it, types.Universe.Lookup("error").Type().Underlying())
+}
+
+func checkComparison(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, bin.X) || isNil(pass, bin.Y) {
+		return
+	}
+	xt, yt := pass.TypesInfo.TypeOf(bin.X), pass.TypesInfo.TypeOf(bin.Y)
+	if xt == nil || yt == nil || !isErrorInterface(xt) && !isErrorInterface(yt) {
+		return
+	}
+	// Only flag when at least one side is an error-typed expression and the
+	// other is error-like too (sentinel var, error interface, or concrete
+	// error implementation).
+	if !implementsError(xt) || !implementsError(yt) {
+		return
+	}
+	pass.Reportf(bin.Pos(),
+		"error compared with %s; use errors.Is so wrapped chains still match", bin.Op)
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}
+
+func implementsError(t types.Type) bool {
+	if isErrorInterface(t) {
+		return true
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}

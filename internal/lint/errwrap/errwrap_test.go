@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/errwrap"
+	"kwsdbg/internal/lint/linttest"
+)
+
+func TestErrwrapFixture(t *testing.T) {
+	linttest.Run(t, errwrap.Analyzer, "testdata/wrap")
+}

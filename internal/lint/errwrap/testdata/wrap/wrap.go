@@ -1,0 +1,77 @@
+// Package wrap is the errwrap analyzer's fixture: flattened error chains
+// and naked sentinel comparisons, next to the %w / errors.Is shapes that
+// keep classification working.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("sentinel")
+
+// flatten loses the chain: errors.Is can no longer see the cause.
+func flatten(err error) error {
+	return fmt.Errorf("probe failed: %v", err) // want `fmt\.Errorf formats an error value without %w`
+}
+
+func flattenS(err error) error {
+	return fmt.Errorf("probe failed: %s", err) // want `without %w`
+}
+
+// escaped shows %%w is not wrapping: the literal percent does not count.
+func escaped(err error) error {
+	return fmt.Errorf("literal %%w here: %v", err) // want `without %w`
+}
+
+// oneOfTwo wraps one error but flattens the other.
+func oneOfTwo(e1, e2 error) error {
+	return fmt.Errorf("%w while handling %v", e1, e2) // want `without %w`
+}
+
+// wraps preserves the chain.
+func wraps(err error) error {
+	return fmt.Errorf("probe failed: %w", err)
+}
+
+func wrapsBoth(e1, e2 error) error {
+	return fmt.Errorf("%w while handling %w", e1, e2)
+}
+
+// renders formats only non-error values; nothing to wrap.
+func renders(n int) error {
+	return fmt.Errorf("bad row count %d", n)
+}
+
+// compares uses naked equality on error values.
+func compares(err error) bool {
+	return err == errSentinel // want `error compared with ==`
+}
+
+func comparesNe(err error) bool {
+	return err != errSentinel // want `error compared with !=`
+}
+
+// classifies is the correct shape: errors.Is sees through wrapping.
+func classifies(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+// nilChecks stay legal: err == nil is flow control, not classification.
+func nilChecks(err error) bool {
+	return err == nil || errors.Is(err, errSentinel)
+}
+
+type wrapped struct{ inner error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.inner.Error() }
+
+// Is implements the errors.Is protocol itself — the one place a == sentinel
+// comparison is the idiom rather than the bug.
+func (w *wrapped) Is(target error) bool { return target == errSentinel }
+
+// waived records why rendering with %v is deliberate here.
+func waived(err error) error {
+	//lint:ignore kwslint/errwrap user-facing rendering, never classified
+	return fmt.Errorf("display: %v", err)
+}

@@ -1,0 +1,115 @@
+// Package ignore implements kwslint's suppression directives.
+//
+// A directive has the form
+//
+//	//lint:ignore kwslint/<name>[,kwslint/<name>...] reason
+//
+// and suppresses matching diagnostics on its own source line and on the
+// line immediately below it — so it works both as a trailing comment on the
+// offending line and as a comment on the line above. The reason is
+// mandatory: an invariant strong enough to be machine-enforced deserves a
+// recorded justification wherever it is waived, and a directive without one
+// is itself a diagnostic (kwslint/directive) and suppresses nothing.
+package ignore
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"kwsdbg/internal/lint/analysis"
+)
+
+// DirectiveCheck is the check ID malformed directives are reported under.
+const DirectiveCheck = "kwslint/directive"
+
+// Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Pos    token.Pos
+	File   string
+	Line   int
+	Checks []string // fully qualified check IDs, e.g. "kwslint/ctxflow"
+	Reason string
+}
+
+// prefix is what a directive comment's text starts with after the
+// comment markers are stripped.
+const prefix = "lint:ignore"
+
+// Parse extracts every well-formed directive from the files and reports a
+// diagnostic for every malformed one (missing check list or empty reason).
+func Parse(fset *token.FileSet, files []*ast.File) ([]Directive, []analysis.Diagnostic) {
+	var dirs []Directive
+	var malformed []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				if len(fields) == 0 {
+					malformed = append(malformed, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Check:   DirectiveCheck,
+						Message: "lint:ignore directive needs a check list and a reason",
+					})
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				reason := strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				if reason == "" {
+					malformed = append(malformed, analysis.Diagnostic{
+						Pos:     c.Pos(),
+						Check:   DirectiveCheck,
+						Message: "lint:ignore directive needs a non-empty reason",
+					})
+					continue
+				}
+				dirs = append(dirs, Directive{
+					Pos:    c.Pos(),
+					File:   pos.Filename,
+					Line:   pos.Line,
+					Checks: checks,
+					Reason: reason,
+				})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// Filter returns the diagnostics not covered by a directive. A directive
+// covers a diagnostic when the check matches and the diagnostic sits on the
+// directive's line or the one below it in the same file.
+func Filter(fset *token.FileSet, dirs []Directive, diags []analysis.Diagnostic) []analysis.Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file  string
+		line  int
+		check string
+	}
+	covered := make(map[key]bool)
+	for _, d := range dirs {
+		for _, c := range d.Checks {
+			covered[key{d.File, d.Line, c}] = true
+			covered[key{d.File, d.Line + 1, c}] = true
+		}
+	}
+	var kept []analysis.Diagnostic
+	for _, dg := range diags {
+		pos := fset.Position(dg.Pos)
+		if covered[key{pos.Filename, pos.Line, dg.Check}] {
+			continue
+		}
+		kept = append(kept, dg)
+	}
+	return kept
+}

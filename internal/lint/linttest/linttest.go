@@ -1,0 +1,199 @@
+// Package linttest is the golden-file harness for kwslint analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest (which the build
+// environment does not vendor).
+//
+// A fixture is a directory of Go source under the analyzer's testdata tree.
+// Expectations are written inline:
+//
+//	m := time.Now() // want `forbidden call to time\.Now`
+//
+// Each `// want "re1" "re2"` comment expects the diagnostics reported on
+// its line to match the given regular expressions; unexpected diagnostics
+// and unmatched expectations both fail the test. Suppression directives
+// (package ignore) are applied before matching, so fixtures also exercise
+// the //lint:ignore machinery — including the rule that a directive with an
+// empty reason suppresses nothing and is itself reported.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"kwsdbg/internal/lint/analysis"
+	"kwsdbg/internal/lint/ignore"
+	"kwsdbg/internal/lint/loadpkg"
+)
+
+var (
+	setOnce sync.Once
+	set     *loadpkg.Set
+	setErr  error
+)
+
+// sharedSet loads the enclosing module's dependency closure once per test
+// process; every fixture package type-checks against it.
+func sharedSet(t *testing.T) *loadpkg.Set {
+	t.Helper()
+	setOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			setErr = err
+			return
+		}
+		set, setErr = loadpkg.Load(root, "./...")
+	})
+	if setErr != nil {
+		t.Fatalf("linttest: loading module: %v", setErr)
+	}
+	return set
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("linttest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run type-checks the fixture directory (relative to the test's working
+// directory), runs the analyzer over it, applies suppression directives,
+// and compares the surviving diagnostics — plus any malformed-directive
+// diagnostics — against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	s := sharedSet(t)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkg, err := s.CheckDir(abs, "kwsdbg/lintfixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: analyzer %s: %v", a.Name, err)
+	}
+
+	dirs, malformed := ignore.Parse(pkg.Fset, pkg.Files)
+	diags := ignore.Filter(pkg.Fset, dirs, pass.Diags)
+	diags = append(diags, malformed...)
+
+	match(t, pkg, diags)
+}
+
+// want is one expectation: a compiled regexp at a file line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func match(t *testing.T, pkg *loadpkg.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitPatterns(t, pos, strings.TrimPrefix(text, "want ")) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		msg := d.Check + ": " + d.Message
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, msg)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitPatterns parses the quoted regexps of a want comment: double-quoted
+// (Go escaping) or backquoted (raw) strings, whitespace separated.
+func splitPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			pats = append(pats, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got: %s", pos, s)
+		}
+	}
+	return pats
+}

@@ -1,0 +1,224 @@
+// Package loadpkg loads and type-checks the module's packages for analysis
+// without golang.org/x/tools/go/packages.
+//
+// One `go list -deps -export -json` invocation yields, for every package in
+// the dependency closure, the path of its compiled export data in the build
+// cache. Module packages are then parsed from source and type-checked with
+// go/types, importing every dependency — standard library included —
+// through the gc export-data importer. This is the same strategy
+// go/packages uses in LoadTypes mode, reduced to what a single-module lint
+// driver needs, and it works fully offline: the go toolchain compiles the
+// export data itself, so there is no network and no GOPATH dependency.
+package loadpkg
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Set is the dependency closure of one Load call: export data for every
+// package go list reported, plus the parsed module packages themselves.
+type Set struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+	pkgs    []*Package
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// Load runs the go toolchain on the given patterns (relative to dir) and
+// type-checks every matched module package from source. Patterns follow
+// `go list` syntax; "./..." lints the whole module.
+func Load(dir string, patterns ...string) (*Set, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// First resolve which packages the patterns actually name: -deps drags
+	// in the whole dependency closure (needed for export data), but only
+	// the matched packages get analyzed.
+	matched := make(map[string]bool)
+	out, err := runGoList(dir, append([]string{"list", "-json=ImportPath"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadpkg: decoding go list output: %w", err)
+		}
+		matched[p.ImportPath] = true
+	}
+
+	out, err = runGoList(dir, append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Set{fset: token.NewFileSet(), exports: make(map[string]string)}
+	s.imp = importer.ForCompiler(s.fset, "gc", s.lookup)
+
+	var module []listPackage
+	dec = json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loadpkg: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			s.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil && matched[p.ImportPath] {
+			module = append(module, p)
+		}
+	}
+
+	// go list emits dependencies before dependents, so checking in emitted
+	// order never imports an unchecked module package — but the gc importer
+	// reads export data regardless, so order only affects error locality.
+	for _, lp := range module {
+		pkg, err := s.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		s.pkgs = append(s.pkgs, pkg)
+	}
+	return s, nil
+}
+
+// runGoList executes one go command and returns stdout.
+func runGoList(dir string, args []string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: go %s: %w\n%s",
+			strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// lookup feeds the gc importer the export data go list reported.
+func (s *Set) lookup(path string) (io.ReadCloser, error) {
+	f, ok := s.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("loadpkg: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// Packages returns the module packages in go list order (dependencies
+// first).
+func (s *Set) Packages() []*Package { return s.pkgs }
+
+// Fset returns the shared file set positions are resolved against.
+func (s *Set) Fset() *token.FileSet { return s.fset }
+
+// check parses and type-checks one listed package.
+func (s *Set) check(lp listPackage) (*Package, error) {
+	files := make([]string, len(lp.GoFiles))
+	for i, g := range lp.GoFiles {
+		files[i] = filepath.Join(lp.Dir, g)
+	}
+	return s.checkFiles(lp.ImportPath, lp.Dir, files)
+}
+
+// CheckDir parses every non-test .go file directly inside dir as a single
+// package and type-checks it against the set's export data. This is the
+// linttest entry point: analyzer test fixtures live in testdata directories
+// the go tool ignores, but may import anything in the module's dependency
+// closure (including kwsdbg packages).
+func (s *Set) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("loadpkg: no .go files in %s", dir)
+	}
+	return s.checkFiles(importPath, dir, files)
+}
+
+func (s *Set) checkFiles(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(s.fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loadpkg: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: s.imp}
+	tpkg, err := conf.Check(importPath, s.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       s.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

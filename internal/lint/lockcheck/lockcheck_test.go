@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/linttest"
+	"kwsdbg/internal/lint/lockcheck"
+)
+
+func TestLockcheckFixture(t *testing.T) {
+	linttest.Run(t, lockcheck.Analyzer, "testdata/lock")
+}

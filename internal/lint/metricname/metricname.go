@@ -1,0 +1,105 @@
+// Package metricname keeps the repo's metric namespace coherent.
+//
+// Every metric family created through internal/obs must (1) have a
+// compile-time-constant name, (2) match ^kwsdbg_[a-z0-9_]+$ — one prefix,
+// lowercase, Prometheus-safe — and (3) appear in the generated registry
+// (internal/obs/registry.go, `go generate ./internal/obs`, emitted by
+// cmd/obsgen). The registry is also what regenerates DESIGN.md's metric
+// table, so a metric that builds is, by construction, a metric that is
+// documented; the analyzer closes the loop by refusing names the registry
+// does not know, which is how docs drift is turned into a build failure.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"kwsdbg/internal/lint/analysis"
+	"kwsdbg/internal/obs"
+)
+
+// Analyzer is the metric-naming checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric names passed to internal/obs must be constant, match " +
+		"^kwsdbg_[a-z0-9_]+$, and be declared in the generated registry",
+	Run: run,
+}
+
+// Registered reports whether a metric name is in the generated registry.
+// It is a variable so tests can pin the registry contents.
+var Registered = func(name string) bool { return obs.RegisteredNames()[name] }
+
+// NamePattern is the shape every metric family name must have.
+var NamePattern = regexp.MustCompile(`^kwsdbg_[a-z0-9_]+$`)
+
+// factoryMethods are the Registry methods whose first argument is a metric
+// family name.
+var factoryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The obs package itself (and its registry) defines the factories and
+	// the name table; it creates no families of its own.
+	if pass.Pkg.Path() == "kwsdbg/internal/obs" {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCall(pass, call)
+		return true
+	})
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !factoryMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isObsRegistry(recv.Type()) {
+		return
+	}
+
+	arg := call.Args[0]
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(),
+			"metric name must be a compile-time constant string so the registry and docs can account for it")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !NamePattern.MatchString(name) {
+		pass.Reportf(arg.Pos(),
+			"metric name %q must match %s (kwsdbg_ prefix, lowercase, underscores)", name, NamePattern)
+		return
+	}
+	if !Registered(name) {
+		pass.Reportf(arg.Pos(),
+			"metric %q is not in the generated registry; run `go generate ./internal/obs` (cmd/obsgen) to declare it and refresh DESIGN.md's metric table", name)
+	}
+}
+
+func isObsRegistry(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "kwsdbg/internal/obs" && obj.Name() == "Registry"
+}

@@ -1,0 +1,22 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/linttest"
+	"kwsdbg/internal/lint/metricname"
+)
+
+// TestMetricnameFixture pins the registry to the fixture's three sanctioned
+// names so the test is independent of the real generated registry.
+func TestMetricnameFixture(t *testing.T) {
+	pinned := map[string]bool{
+		"kwsdbg_fixture_good_total":   true,
+		"kwsdbg_fixture_hist_seconds": true,
+		"kwsdbg_fixture_vec_total":    true,
+	}
+	old := metricname.Registered
+	metricname.Registered = func(name string) bool { return pinned[name] }
+	defer func() { metricname.Registered = old }()
+	linttest.Run(t, metricname.Analyzer, "testdata/metric")
+}

@@ -1,0 +1,28 @@
+// Package metric is the metricname analyzer's fixture. The test pins the
+// registry to exactly {kwsdbg_fixture_good_total, kwsdbg_fixture_hist_seconds,
+// kwsdbg_fixture_vec_total}; everything else is rogue.
+package metric
+
+import "kwsdbg/internal/obs"
+
+var (
+	good = obs.Default.Counter("kwsdbg_fixture_good_total", "registered, well-formed")
+	hist = obs.Default.Histogram("kwsdbg_fixture_hist_seconds", "registered histogram", nil)
+	vec  = obs.Default.CounterVec("kwsdbg_fixture_vec_total", "registered vec", "outcome")
+
+	rogue     = obs.Default.Counter("kwsdbg_fixture_rogue_total", "never registered") // want `metric "kwsdbg_fixture_rogue_total" is not in the generated registry`
+	badPrefix = obs.Default.Gauge("fixture_bad_prefix", "missing kwsdbg_ prefix")     // want `must match \^kwsdbg_`
+	badCase   = obs.Default.Gauge("kwsdbg_Fixture_mixed", "uppercase letter")         // want `must match \^kwsdbg_`
+)
+
+// dynamic builds the name at run time, so neither the registry nor the docs
+// generator can account for it.
+func dynamic(name string) *obs.Counter {
+	return obs.Default.Counter(name, "dynamic") // want `metric name must be a compile-time constant`
+}
+
+// waived records why a legacy name survives outside the registry.
+func waived() *obs.Counter {
+	//lint:ignore kwslint/metricname legacy dashboard name kept for continuity
+	return obs.Default.Counter("kwsdbg_fixture_legacy_total", "legacy")
+}

@@ -10,6 +10,8 @@
 // init; registration is idempotent, so tests and multiple System instances
 // share one family per name. All metric operations are lock-free atomic
 // updates and safe for concurrent use.
+//
+//go:generate go run kwsdbg/cmd/obsgen
 package obs
 
 import (

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// designMetricTable extracts the metric names from DESIGN.md's generated
+// table (the region between the cmd/obsgen markers).
+func designMetricTable(t *testing.T) map[string]bool {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+	doc, err := os.ReadFile(filepath.Join(dir, "DESIGN.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(doc)
+	begin := strings.Index(text, "<!-- begin generated metric table (cmd/obsgen) -->")
+	end := strings.Index(text, "<!-- end generated metric table (cmd/obsgen) -->")
+	if begin < 0 || end < 0 || end < begin {
+		t.Fatal("DESIGN.md is missing the generated metric table markers")
+	}
+	row := regexp.MustCompile("^\\| `(kwsdbg_[a-z0-9_]+)` \\|")
+	names := make(map[string]bool)
+	for _, line := range strings.Split(text[begin:end], "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			names[m[1]] = true
+		}
+	}
+	return names
+}
+
+// TestDesignTableMatchesRegistry is the docs-drift tripwire: the metric
+// table in DESIGN.md and the generated registry must list exactly the same
+// families. Both are emitted by cmd/obsgen from one scan, so a mismatch
+// means one side was hand-edited — rerun `go generate ./internal/obs`.
+func TestDesignTableMatchesRegistry(t *testing.T) {
+	documented := designMetricTable(t)
+	registered := RegisteredNames()
+	if len(documented) == 0 {
+		t.Fatal("no metric rows found in DESIGN.md's generated table")
+	}
+	for name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %s is registered but missing from DESIGN.md's table", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("metric %s is documented but not in the generated registry", name)
+		}
+	}
+}
+
+// TestRegistryWellFormed pins the registry's own invariants: sorted unique
+// names, the kwsdbg_ shape, a non-empty help string and declaring package.
+func TestRegistryWellFormed(t *testing.T) {
+	pattern := regexp.MustCompile(`^kwsdbg_[a-z0-9_]+$`)
+	for i, m := range Registered {
+		if !pattern.MatchString(m.Name) {
+			t.Errorf("registry entry %q does not match %s", m.Name, pattern)
+		}
+		if m.Help == "" || m.Package == "" {
+			t.Errorf("registry entry %q has empty help or package", m.Name)
+		}
+		switch m.Type {
+		case "counter", "gauge", "histogram":
+		default:
+			t.Errorf("registry entry %q has unknown type %q", m.Name, m.Type)
+		}
+		if i > 0 && Registered[i-1].Name >= m.Name {
+			t.Errorf("registry not sorted/unique at %q >= %q", Registered[i-1].Name, m.Name)
+		}
+	}
+}

@@ -71,12 +71,18 @@ type entry struct {
 type Cache struct {
 	cfg Config
 
-	mu    sync.Mutex
-	ll    *list.List // front = most recently used; values are *entry
+	mu sync.Mutex
+	// ll is the recency list (front = most recently used; values are
+	// *entry). guarded by mu.
+	ll *list.List
+	// items indexes ll by probe key. guarded by mu.
 	items map[string]*list.Element
-	gen   uint64
+	// gen is the newest data generation observed. guarded by mu.
+	gen uint64
 
-	hits, misses              uint64
+	// hits and misses count lookups. guarded by mu.
+	hits, misses uint64
+	// evictCapacity and evictStale split evictions by cause. guarded by mu.
 	evictCapacity, evictStale uint64
 
 	// now is the clock, injectable for TTL tests.

@@ -53,16 +53,18 @@ experiments:
 chaos:
 	$(GO) test -count=5 -run 'Chaos|Fault|Retry|Budget|Deadline|Cancel' ./internal/engine ./internal/core
 
-# Probe scheduler + cache sweep, the budget degradation curve, and the
-# prepared-plan comparison: renders the tables to stdout and writes the
-# machine-readable reports (ns/op, probes/op, speedup, warm-cache hit rate at
-# workers=1,2,4,8; MPAN recall vs budget fraction; text vs prepared ns/probe
-# cold and warm) to BENCH_probe.json, BENCH_degrade.json, and BENCH_plan.json.
-# GOMAXPROCS is pinned so the speedup columns are comparable across hosts;
-# every report records both the requested and effective value.
+# Probe scheduler + cache sweep, the budget degradation curve, the
+# prepared-plan comparison, and the flight-recorder overhead check: renders
+# the tables to stdout and writes the machine-readable reports (ns/op,
+# probes/op, speedup, warm-cache hit rate at workers=1,2,4,8; MPAN recall vs
+# budget fraction; text vs prepared ns/probe cold and warm; recorder-on vs
+# recorder-off ns/op at workers=1,8) to BENCH_probe.json, BENCH_degrade.json,
+# BENCH_plan.json, and BENCH_flight.json. GOMAXPROCS is pinned so the speedup
+# columns are comparable across hosts; every report records both the
+# requested and effective value.
 BENCH_GOMAXPROCS ?= 4
 bench:
-	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan \
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan,flight \
 		-gomaxprocs $(BENCH_GOMAXPROCS) \
 		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json \
-		-plan-json BENCH_plan.json
+		-plan-json BENCH_plan.json -flight-json BENCH_flight.json

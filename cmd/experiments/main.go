@@ -33,6 +33,7 @@ func main() {
 	probeJSON := flag.String("probe-json", "", "path where the 'probe' step writes its JSON report")
 	degradeJSON := flag.String("degrade-json", "", "path where the 'degrade' step writes its JSON report")
 	planJSON := flag.String("plan-json", "", "path where the 'plan' step writes its JSON report")
+	flightJSON := flag.String("flight-json", "", "path where the 'flight' step writes its JSON report")
 	procs := flag.Int("gomaxprocs", 0, "set GOMAXPROCS before measuring (0 = leave the runtime default); recorded in every JSON report")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
@@ -40,13 +41,13 @@ func main() {
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
-	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *planJSON, *procs, *verbose); err != nil {
+	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *planJSON, *flightJSON, *procs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON, planJSON string, procs int, verbose bool) error {
+func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON, planJSON, flightJSON string, procs int, verbose bool) error {
 	if maxLevel < 3 {
 		return fmt.Errorf("-maxlevel must be >= 3")
 	}
@@ -157,6 +158,22 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, p
 					return nil, err
 				}
 				if err := os.WriteFile(planJSON, append(body, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}},
+		step{"flight", func() (*bench.Table, error) {
+			t, rep, err := bench.FlightSweep(env, mid, []int{1, 8}, 7)
+			if err != nil {
+				return nil, err
+			}
+			if flightJSON != "" {
+				body, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(flightJSON, append(body, '\n'), 0o644); err != nil {
 					return nil, err
 				}
 			}

@@ -38,6 +38,7 @@ import (
 	"kwsdbg/internal/figure2"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/probecache"
 	"kwsdbg/internal/server"
 )
@@ -59,6 +60,8 @@ func main() {
 	cacheSize := flag.Int("probe-cache-size", probecache.DefaultMaxEntries, "cross-request probe cache entries (0 disables the cache, negative = unbounded)")
 	cacheTTL := flag.Duration("probe-cache-ttl", 0, "probe cache entry lifetime (0 = no TTL)")
 	planCacheSize := flag.Int("plan-cache-size", engine.DefaultPlanCacheSize, "compiled probe-plan cache entries, per path (0 disables, negative = unbounded)")
+	ledgerDir := flag.String("ledger-dir", "", "directory for ?ledger=1 JSONL run ledgers (empty disables ledgers)")
+	flightRing := flag.Int("flight-ring", 0, "flight recorder ring slots, rounded up to a power of two (0 = default)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -77,6 +80,7 @@ func main() {
 		cacheSize: *cacheSize, cacheTTL: *cacheTTL,
 		maxInflight: *maxInflight, probeBudget: *probeBudget, retryMax: *retryMax,
 		planCacheSize: *planCacheSize,
+		ledgerDir:     *ledgerDir, flightRing: *flightRing,
 	}
 	if err := run(logger, cfg); err != nil {
 		logger.Error("fatal", slog.String("error", err.Error()))
@@ -98,6 +102,8 @@ type serveConfig struct {
 	probeBudget     int
 	retryMax        int
 	planCacheSize   int
+	ledgerDir       string
+	flightRing      int
 }
 
 func run(logger *slog.Logger, cfg serveConfig) error {
@@ -125,6 +131,15 @@ func run(logger *slog.Logger, cfg serveConfig) error {
 	srv.Logger = logger
 	srv.MaxInflight = cfg.maxInflight
 	srv.ProbeBudget = cfg.probeBudget
+	if cfg.flightRing > 0 {
+		srv.Recorder = flight.NewRecorder(cfg.flightRing)
+	}
+	if cfg.ledgerDir != "" {
+		if err := os.MkdirAll(cfg.ledgerDir, 0o755); err != nil {
+			return fmt.Errorf("ledger dir: %w", err)
+		}
+		srv.LedgerDir = cfg.ledgerDir
+	}
 
 	// Expose the serving system's shape through expvar alongside the
 	// runtime's memstats, for the /debug/vars listener.

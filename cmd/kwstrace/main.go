@@ -1,0 +1,130 @@
+// Command kwstrace analyzes the JSONL run ledgers written by kwsdbgd
+// (-ledger-dir plus /debug?ledger=1): per-probe provenance for one run, the
+// probes the run spent its SQL time on, and — the triage workhorse — a causal
+// diff of two runs of the same query.
+//
+// Usage:
+//
+//	kwstrace summary run.jsonl        one run's digest: phases, cache hit
+//	                                  rate, event tallies
+//	kwstrace slow [-top N] run.jsonl  slowest probes by SQL time, with each
+//	                                  probe's full event chain
+//	kwstrace diff [-top N] a.jsonl b.jsonl
+//	                                  what B did that A didn't: newly missed
+//	                                  caches, replans, retries, new probes,
+//	                                  and how much of the SQL-time delta
+//	                                  they explain
+//
+// The diff reads A as the baseline (typically a warm run) and B as the run
+// under investigation (typically cold or regressed). Probes are matched
+// across runs by their cross-request probe-cache key, so the comparison
+// survives lattice renumbering between builds.
+//
+// Exit status is 0 on success, 1 on bad usage, 2 when a ledger cannot be
+// read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kwsdbg/internal/obs/flight"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	if len(args) < 1 {
+		usage()
+		return 1
+	}
+	switch args[0] {
+	case "summary":
+		return summaryCmd(args[1:], out)
+	case "slow":
+		return slowCmd(args[1:], out)
+	case "diff":
+		return diffCmd(args[1:], out)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return 0
+	default:
+		fmt.Fprintf(os.Stderr, "kwstrace: unknown subcommand %q\n", args[0])
+		usage()
+		return 1
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  kwstrace summary run.jsonl
+  kwstrace slow [-top N] run.jsonl
+  kwstrace diff [-top N] a.jsonl b.jsonl
+`)
+}
+
+// load reads and digests one ledger, reporting errors itself so the
+// subcommands share the exit-status convention.
+func load(path string) (*flight.Analysis, bool) {
+	led, err := flight.LoadLedger(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kwstrace: %v\n", err)
+		return nil, false
+	}
+	return flight.Analyze(led), true
+}
+
+func summaryCmd(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("kwstrace summary", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return 1
+	}
+	a, ok := load(fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	a.RenderSummary(out)
+	return 0
+}
+
+func slowCmd(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("kwstrace slow", flag.ExitOnError)
+	top := fs.Int("top", 20, "how many probes to show")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+		return 1
+	}
+	a, ok := load(fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	a.RenderSlow(out, *top)
+	return 0
+}
+
+func diffCmd(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("kwstrace diff", flag.ExitOnError)
+	top := fs.Int("top", 20, "how many changed probes to show")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+		return 1
+	}
+	a, ok := load(fs.Arg(0))
+	if !ok {
+		return 2
+	}
+	b, ok := load(fs.Arg(1))
+	if !ok {
+		return 2
+	}
+	flight.Diff(a, b).RenderDiff(out, fs.Arg(0), fs.Arg(1), *top)
+	return 0
+}

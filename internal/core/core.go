@@ -19,6 +19,7 @@ import (
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/probecache"
 	"kwsdbg/internal/sqldriver"
 	"kwsdbg/internal/storage"
@@ -378,6 +379,13 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	defer cancelProbes()
 	gov := newGovernor(ctx, probeCtx, opts.ProbeBudget)
 
+	// The flight log is resolved from the context exactly once per run and
+	// handed to every hot-path participant as a field; probes never walk the
+	// context chain, so an unrecorded run pays one nil check per emission
+	// point and nothing else.
+	fl := flight.FromContext(ctx)
+	gov.fl = fl
+
 	// The probe oracle: compiled engine handles by default, rendered SQL
 	// through database/sql when the caller asks for the text path. Both
 	// share the verdict cache and produce identical Output.
@@ -392,6 +400,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 			cache.SyncGeneration(sys.eng.DataVersion())
 			sqlOr.cache = cache
 		}
+		sqlOr.fl = fl
 		base = sqlOr
 	} else {
 		prepOr = newPreparedOracle(probeCtx, sys.lat, sys.eng, sys.prepared, keywords)
@@ -399,6 +408,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 			cache.SyncGeneration(sys.eng.DataVersion())
 			prepOr.cache = cache
 		}
+		prepOr.setFlight(fl)
 		base = prepOr
 	}
 	oracle := base
@@ -410,7 +420,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	workers := ClampWorkers(opts.Workers)
 	_, sp3 := obs.StartSpan(ctx, "phase3")
 	start := clock.Now()
-	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers, gov)
+	res, inferred, err := sys.traverse(ctx, sub, oracle, sd, opts, workers, gov, fl)
 	if err == nil {
 		// A caller cancellation that lands after the last commit must not
 		// let the run masquerade as completed: check before any stats or

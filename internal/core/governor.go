@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"kwsdbg/internal/obs/flight"
 )
 
 // Exhaustion reasons, surfaced in Output.IncompleteReason, the report JSON,
@@ -41,6 +43,10 @@ type governor struct {
 
 	limited   bool
 	remaining atomic.Int64
+
+	// fl records the exhaustion event; set once by debugWith before any
+	// probe, nil when the run is not recorded.
+	fl *flight.Log
 
 	mu sync.Mutex
 	// reason is the first allowance to run out; "" while none has.
@@ -90,10 +96,17 @@ func (g *governor) graceful(err error) error {
 
 func (g *governor) trip(reason string) error {
 	g.mu.Lock()
-	if g.reason == "" {
+	first := g.reason == ""
+	if first {
 		g.reason = reason
 	}
 	g.mu.Unlock()
+	if first {
+		// Only the transition is recorded: every admit after exhaustion
+		// trips again, and a ring full of identical exhaustion events would
+		// bury the run's actual history.
+		g.fl.Emit(flight.Exhausted, -1, "", false, 0, reason)
+	}
 	return &exhaustedError{reason: reason}
 }
 

@@ -11,6 +11,7 @@ import (
 	"kwsdbg/internal/clock"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/probecache"
 )
 
@@ -82,9 +83,15 @@ type preparedOracle struct {
 	// probes skip even the LRU lock.
 	handles *engine.PreparedCache
 	local   sync.Map
+	// keys memoizes probe identities (nodeID -> string); see probeKey.
+	keys sync.Map
 
 	// cands shares indexed candidate row sets across this run's probes.
 	cands *engine.CandidateCache
+
+	// fl records probe provenance (cache hits/misses, SQL latency); set
+	// once via setFlight before the run starts, nil when not recording.
+	fl *flight.Log
 
 	executed  atomic.Int64
 	cacheHits atomic.Int64
@@ -99,12 +106,27 @@ func newPreparedOracle(ctx context.Context, lat *lattice.Lattice, eng *engine.En
 	}
 }
 
+// setFlight attaches the run's flight log to the oracle and to its
+// candidate-set cache (the engine's planning layer emits through the cache).
+func (o *preparedOracle) setFlight(fl *flight.Log) {
+	o.fl = fl
+	o.cands.SetFlight(fl)
+}
+
 // probeKey is the node's probe identity: canonical label plus keyword
 // binding — the same identity the verdict cache uses, because two nodes
 // sharing it have isomorphic existence queries with identical outcomes.
+// Keys are memoized per node: warmBatch builds them while pre-compiling, so
+// the probe itself — which needs the key for the cache lookup and for every
+// flight event — gets a map hit instead of a string build.
 func (o *preparedOracle) probeKey(nodeID int) string {
+	if v, ok := o.keys.Load(nodeID); ok {
+		return v.(string)
+	}
 	node := o.lat.Node(nodeID)
-	return probecache.Key(node.Label, node.CopyMask, o.keywords)
+	key := probecache.Key(node.Label, node.CopyMask, o.keywords)
+	o.keys.Store(nodeID, key)
+	return key
 }
 
 // handle resolves the node's Prepared handle: per-run map, then the
@@ -148,13 +170,18 @@ func (o *preparedOracle) warmBatch(nodeIDs []int) {
 // IsAlive implements Oracle.
 func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	var key string
-	if o.cache != nil {
+	if o.cache != nil || o.fl != nil {
 		key = o.probeKey(nodeID)
-		if alive, ok := o.cache.Get(key); ok {
+	}
+	if o.cache != nil {
+		alive, outcome := o.cache.Lookup(key)
+		if outcome == probecache.Hit {
 			o.executed.Add(1)
 			o.cacheHits.Add(1)
+			o.fl.Emit(flight.ProbeCacheHit, nodeID, key, alive, 0, "")
 			return alive, nil
 		}
+		o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
 	}
 	// The timer covers full probe servicing — handle lookup (or compile)
 	// plus execution — mirroring the text path, which times render plus
@@ -164,13 +191,15 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	res, err := h.ExecContext(o.ctx, o.cands)
+	res, err := h.ExecFlight(o.ctx, o.cands, o.fl, nodeID, key)
 	if err != nil {
 		return false, fmt.Errorf("core: probe node %d: %w", nodeID, err)
 	}
 	alive := len(res.Rows) > 0
 	o.executed.Add(1)
-	o.sqlNanos.Add(int64(clock.Since(start)))
+	dur := clock.Since(start)
+	o.sqlNanos.Add(int64(dur))
+	o.fl.Emit(flight.SQLExec, nodeID, key, alive, dur, "")
 	if o.cache != nil {
 		o.cache.Put(key, alive)
 	}
@@ -207,6 +236,11 @@ type sqlOracle struct {
 	// cache is the cross-request aliveness cache, as in preparedOracle.
 	cache *probecache.Cache
 
+	// fl records probe provenance, as in preparedOracle. Plan and retry
+	// events on this path come from the engine via the context instead
+	// (database/sql hides the call chain), tagged with node -1.
+	fl *flight.Log
+
 	executed  atomic.Int64
 	cacheHits atomic.Int64
 	sqlNanos  atomic.Int64
@@ -219,14 +253,19 @@ func newSQLOracle(ctx context.Context, lat *lattice.Lattice, db *sql.DB, keyword
 // IsAlive implements Oracle.
 func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 	var key string
-	if o.cache != nil {
+	if o.cache != nil || o.fl != nil {
 		node := o.lat.Node(nodeID)
 		key = probecache.Key(node.Label, node.CopyMask, o.keywords)
-		if alive, ok := o.cache.Get(key); ok {
+	}
+	if o.cache != nil {
+		alive, outcome := o.cache.Lookup(key)
+		if outcome == probecache.Hit {
 			o.executed.Add(1)
 			o.cacheHits.Add(1)
+			o.fl.Emit(flight.ProbeCacheHit, nodeID, key, alive, 0, "")
 			return alive, nil
 		}
+		o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
 	}
 	// Rendering is inside the timer: it is part of servicing a text-path
 	// probe, and skipping it is precisely what the prepared path is for.
@@ -248,7 +287,9 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 		return false, closeErr
 	}
 	o.executed.Add(1)
-	o.sqlNanos.Add(int64(clock.Since(start)))
+	dur := clock.Since(start)
+	o.sqlNanos.Add(int64(dur))
+	o.fl.Emit(flight.SQLExec, nodeID, key, alive, dur, "")
 	if o.cache != nil {
 		o.cache.Put(key, alive)
 	}

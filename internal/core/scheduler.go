@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"kwsdbg/internal/obs/flight"
 )
 
 // This file is the Phase 3 probe scheduler: a bounded worker pool that
@@ -131,6 +133,7 @@ func (r *run) commit(xs []int, outcomes []probeOutcome) error {
 			}
 			return oc.err
 		}
+		r.fl.Emit(flight.Verdict, r.sub.nodeID[x], "", oc.alive, 0, "")
 		r.classify(x, oc.alive, false)
 	}
 	return exhausted
@@ -183,7 +186,7 @@ func (r *run) warmHandles(xs []int) {
 // point of these baselines), the pool is bounded by workers, and results
 // merge in MTN order afterwards, so the accumulated Output and the summed
 // probe/inferred counts match the serial loop exactly.
-func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, strategy Strategy, workers int, gov *governor) (traverseResult, int, error) {
+func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle Oracle, sd seed, strategy Strategy, workers int, gov *governor, fl *flight.Log) (traverseResult, int, error) {
 	n := len(sub.mtns)
 	results := make([]traverseResult, n)
 	inferredBy := make([]int, n)
@@ -192,7 +195,7 @@ func (sys *System) runMTNsParallel(ctx context.Context, sub *sublattice, oracle 
 
 	runOne := func(mi int) {
 		r := newRun(sub, oracle, []int{mi})
-		r.ctx, r.workers, r.gov = ctx, 1, gov // parallel across MTNs, serial within
+		r.ctx, r.workers, r.gov, r.fl = ctx, 1, gov, fl // parallel across MTNs, serial within
 		var err error
 		if strategy == BU {
 			err = r.bottomUp(sd)

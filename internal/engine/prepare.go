@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,8 @@ import (
 
 	"kwsdbg/internal/catalog"
 	"kwsdbg/internal/invidx"
+	"kwsdbg/internal/obs"
+	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/sqltext"
 	"kwsdbg/internal/storage"
 )
@@ -70,15 +73,6 @@ func (e *Engine) PrepareQuery(sql string) (*Prepared, error) {
 	return e.Prepare(sel)
 }
 
-// current returns a plan valid for the engine's present data version,
-// recomputing it if the stored one predates a mutation.
-func (p *Prepared) current(cands *CandidateCache) *compiledPlan {
-	if cp := p.plan.Load(); cp != nil && cp.version == p.e.DataVersion() {
-		return cp
-	}
-	return p.replan(cands)
-}
-
 // replan computes a fresh plan. The version is read before planning: plan()
 // itself can advance it (Index detects staleness while rebuilding), and
 // stamping the earlier value errs in the safe direction — the next execution
@@ -107,15 +101,29 @@ func (p *Prepared) Exec(cands *CandidateCache) (*Result, error) {
 // retries with backoff, the fault-injection hook — minus the per-call
 // resolve/plan work. cands, when non-nil, shares indexed candidate sets with
 // other handles executed against the same cache; nil plans privately.
+//
+// Flight recording on this path comes from the context (a ctx.Value walk per
+// execution); the prepared oracle bypasses it via ExecFlight, which is the
+// hot path and must not pay for a context lookup.
 func (p *Prepared) ExecContext(ctx context.Context, cands *CandidateCache) (*Result, error) {
+	return p.ExecFlight(ctx, cands, flight.FromContext(ctx), -1, "")
+}
+
+// ExecFlight is ExecContext with probe provenance: plan reuse/replan and
+// retry events are recorded against the caller's probe identity (lattice
+// node and probe-cache key). fl may be nil; node -1 marks an event not tied
+// to a lattice node.
+func (p *Prepared) ExecFlight(ctx context.Context, cands *CandidateCache, fl *flight.Log, node int, probe string) (*Result, error) {
 	pol := p.e.retryPolicy()
 	delay := pol.BaseDelay
 	for attempt := 1; ; attempt++ {
-		res, err := p.execOnce(ctx, cands)
+		res, err := p.execOnce(ctx, cands, fl, node, probe)
 		if err == nil || attempt >= pol.MaxAttempts || !IsTransient(err) {
 			return res, err
 		}
 		mSQLRetries.Inc()
+		fl.Emit(flight.Retry, node, probe, false, 0, err.Error())
+		logRetry(ctx, attempt, pol.MaxAttempts, err)
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
@@ -129,9 +137,20 @@ func (p *Prepared) ExecContext(ctx context.Context, cands *CandidateCache) (*Res
 	}
 }
 
+// logRetry reports one transient-failure retry, carrying the request ID from
+// the context so a retry storm is attributable to the request that suffered
+// it rather than appearing as anonymous engine noise.
+func logRetry(ctx context.Context, attempt, max int, err error) {
+	slog.Default().LogAttrs(ctx, slog.LevelWarn, "transient failure, retrying",
+		slog.String("request_id", obs.RequestID(ctx)),
+		slog.Int("attempt", attempt),
+		slog.Int("max_attempts", max),
+		slog.String("error", err.Error()))
+}
+
 // execOnce is one execution attempt. The fault hook fires first, exactly as
 // in the text path, so chaos tests exercise prepared probes identically.
-func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache) (*Result, error) {
+func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache, fl *flight.Log, node int, probe string) (*Result, error) {
 	if f := p.e.faultInjector(); f != nil {
 		if err := f(); err != nil {
 			mFaultsInjected.Inc()
@@ -139,7 +158,15 @@ func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache) (*Result
 		}
 	}
 	start := time.Now()
-	cp := p.current(cands)
+	if cp := p.plan.Load(); cp != nil && cp.version == p.e.DataVersion() {
+		fl.Emit(flight.PlanReuse, node, probe, false, 0, "")
+		return p.e.runPlan(ctx, p.bq, cp.plans, cp.order, start)
+	} else if cp != nil {
+		fl.Emit(flight.Replan, node, probe, false, 0, "stale")
+	} else {
+		fl.Emit(flight.Replan, node, probe, false, 0, "cold")
+	}
+	cp := p.replan(cands)
 	return p.e.runPlan(ctx, p.bq, cp.plans, cp.order, start)
 }
 
@@ -159,6 +186,21 @@ type CandidateCache struct {
 
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// fl records candidate-set provenance for the run. It is set once by
+	// the run's owner before any probe executes and read-only afterwards;
+	// a nil log records nothing. The cache carries it because the engine's
+	// planning layer has no other per-run state to hang provenance on.
+	fl *flight.Log
+}
+
+// SetFlight attaches the run's flight log. Call before the first execution
+// against this cache; the field is not synchronized against in-flight
+// probes.
+func (c *CandidateCache) SetFlight(fl *flight.Log) {
+	if c != nil {
+		c.fl = fl
+	}
 }
 
 // candEntry is one computed candidate set. version, ids, and member are
@@ -209,9 +251,11 @@ func (c *CandidateCache) get(e *Engine, key string, compute func() []storage.Row
 		if computed {
 			c.misses.Add(1)
 			mCandSetMisses.Inc()
+			c.fl.Emit(flight.CandSetMiss, -1, key, false, 0, "")
 		} else {
 			c.hits.Add(1)
 			mCandSetHits.Inc()
+			c.fl.Emit(flight.CandSetHit, -1, key, false, 0, "")
 		}
 		if en.version == e.DataVersion() || attempt >= 8 {
 			return en

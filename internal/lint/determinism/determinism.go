@@ -35,17 +35,22 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock/randomness reads and map-iteration-order leaks " +
-		"in the output-affecting packages (core, lattice, report, sqltext)",
+		"in the output-affecting packages (core, lattice, report, sqltext, obs)",
 	Run: run,
 }
 
 // Scope reports whether a package is output-affecting and therefore
 // subject to the determinism invariant. Tests override it to point the
-// analyzer at fixture packages.
+// analyzer at fixture packages. obs and obs/flight are scoped because they
+// run inside probe loops: a clock read there would both perturb the traces
+// they exist to measure and tempt timing into the flight recorder's events,
+// which must stay a pure function of the run (timing enters an Event only as
+// the oracle's already-measured SQL latency).
 var Scope = func(pkgPath string) bool {
 	switch pkgPath {
 	case "kwsdbg/internal/core", "kwsdbg/internal/lattice",
-		"kwsdbg/internal/report", "kwsdbg/internal/sqltext":
+		"kwsdbg/internal/report", "kwsdbg/internal/sqltext",
+		"kwsdbg/internal/obs", "kwsdbg/internal/obs/flight":
 		return true
 	}
 	return false

@@ -32,12 +32,14 @@ func TestDefaultScope(t *testing.T) {
 		"kwsdbg/internal/lattice",
 		"kwsdbg/internal/report",
 		"kwsdbg/internal/sqltext",
+		"kwsdbg/internal/obs",
+		"kwsdbg/internal/obs/flight",
 	} {
 		if !determinism.Scope(pkg) {
 			t.Errorf("Scope(%q) = false, want true", pkg)
 		}
 	}
-	for _, pkg := range []string{"kwsdbg/internal/bench", "kwsdbg/internal/server", "kwsdbg/internal/obs"} {
+	for _, pkg := range []string{"kwsdbg/internal/bench", "kwsdbg/internal/server", "kwsdbg/internal/probecache"} {
 		if determinism.Scope(pkg) {
 			t.Errorf("Scope(%q) = true, want false", pkg)
 		}

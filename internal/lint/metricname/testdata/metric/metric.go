@@ -10,9 +10,13 @@ var (
 	hist = obs.Default.Histogram("kwsdbg_fixture_hist_seconds", "registered histogram", nil)
 	vec  = obs.Default.CounterVec("kwsdbg_fixture_vec_total", "registered vec", "outcome")
 
-	rogue     = obs.Default.Counter("kwsdbg_fixture_rogue_total", "never registered") // want `metric "kwsdbg_fixture_rogue_total" is not in the generated registry`
-	badPrefix = obs.Default.Gauge("fixture_bad_prefix", "missing kwsdbg_ prefix")     // want `must match \^kwsdbg_`
-	badCase   = obs.Default.Gauge("kwsdbg_Fixture_mixed", "uppercase letter")         // want `must match \^kwsdbg_`
+	rogue = obs.Default.Counter("kwsdbg_fixture_rogue_total", "never registered") // want `metric "kwsdbg_fixture_rogue_total" is not in the generated registry`
+	// The flight recorder's families (kwsdbg_flight_*, kwsdbg_ledger_*) get no
+	// special pass: an instrument someone adds to the recorder without
+	// regenerating the registry is flagged like any other rogue.
+	rogueFlight = obs.Default.Counter("kwsdbg_flight_rogue_total", "unregistered flight metric") // want `metric "kwsdbg_flight_rogue_total" is not in the generated registry`
+	badPrefix   = obs.Default.Gauge("fixture_bad_prefix", "missing kwsdbg_ prefix")              // want `must match \^kwsdbg_`
+	badCase     = obs.Default.Gauge("kwsdbg_Fixture_mixed", "uppercase letter")                  // want `must match \^kwsdbg_`
 )
 
 // dynamic builds the name at run time, so neither the registry nor the docs

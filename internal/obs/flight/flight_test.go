@@ -1,0 +1,364 @@
+package flight
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := ParseKind(name); got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", name, got, k)
+		}
+	}
+	if got := ParseKind("from-the-future"); got != KindUnknown {
+		t.Errorf("ParseKind(unknown) = %v, want KindUnknown", got)
+	}
+	if got := Kind(200).String(); got != "unknown" {
+		t.Errorf("Kind(200).String() = %q, want unknown", got)
+	}
+}
+
+func TestNilLogIsSafeAndFree(t *testing.T) {
+	var l *Log
+	l.Emit(SQLExec, 3, "k", true, time.Millisecond, "")
+	if l.Events() != nil || l.Count() != 0 || l.Req() != "" {
+		t.Fatal("nil log should observe nothing")
+	}
+	// The recording-off path must cost a nil check and nothing else: the
+	// acceptance criterion is zero allocations per event.
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Emit(Admit, 1, "key", false, 0, "")
+	})
+	if allocs != 0 {
+		t.Errorf("nil Log.Emit allocates %v times per event, want 0", allocs)
+	}
+}
+
+func TestRecordingEmitDoesNotAllocate(t *testing.T) {
+	rec := NewRecorder(64)
+	l := NewLog(rec, "req-1", false)
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Emit(SQLExec, 7, "probe-key", true, time.Millisecond, "")
+	})
+	if allocs != 0 {
+		t.Errorf("ring Log.Emit allocates %v times per event, want 0", allocs)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	rec := NewRecorder(4) // power of two already
+	l := NewLog(rec, "r", false)
+	for i := 0; i < 10; i++ {
+		l.Emit(Admit, i, "", false, 0, "")
+	}
+	evs := rec.Snapshot("")
+	if len(evs) != 4 {
+		t.Fatalf("snapshot has %d events, want ring size 4", len(evs))
+	}
+	// The ring must retain exactly the newest four (seq 7..10), in order.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+		if want := int32(6 + i); ev.Node != want {
+			t.Errorf("event %d has node %d, want %d", i, ev.Node, want)
+		}
+	}
+}
+
+func TestRingSizeRoundsUp(t *testing.T) {
+	rec := NewRecorder(5)
+	if len(rec.slots) != 8 {
+		t.Errorf("NewRecorder(5) has %d slots, want 8", len(rec.slots))
+	}
+	if def := NewRecorder(0); len(def.slots) != DefaultRingSize {
+		t.Errorf("NewRecorder(0) has %d slots, want %d", len(def.slots), DefaultRingSize)
+	}
+}
+
+func TestSnapshotFiltersByRequest(t *testing.T) {
+	rec := NewRecorder(64)
+	a := NewLog(rec, "a", false)
+	b := NewLog(rec, "b", false)
+	a.Emit(Admit, 1, "", false, 0, "")
+	b.Emit(Admit, 2, "", false, 0, "")
+	a.Emit(Verdict, 1, "", true, 0, "")
+	got := rec.Snapshot("a")
+	if len(got) != 2 {
+		t.Fatalf("Snapshot(a) = %d events, want 2", len(got))
+	}
+	for _, ev := range got {
+		if ev.Req != "a" {
+			t.Errorf("Snapshot(a) returned event for %q", ev.Req)
+		}
+	}
+	if all := rec.Snapshot(""); len(all) != 3 {
+		t.Errorf("Snapshot(\"\") = %d events, want 3", len(all))
+	}
+}
+
+func TestCaptureSurvivesRingWrap(t *testing.T) {
+	rec := NewRecorder(4)
+	l := NewLog(rec, "r", true)
+	for i := 0; i < 32; i++ {
+		l.Emit(SQLExec, i, "k", i%2 == 0, time.Duration(i), "")
+	}
+	evs := l.Events()
+	if len(evs) != 32 {
+		t.Fatalf("capture kept %d events, want all 32 despite the 4-slot ring", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("capture out of order at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	if l.Count() != 32 {
+		t.Errorf("Count() = %d, want 32", l.Count())
+	}
+}
+
+func TestCaptureOnlyLogSequences(t *testing.T) {
+	l := NewLog(nil, "solo", true)
+	l.Emit(Admit, 1, "", false, 0, "")
+	l.Emit(Verdict, 1, "", true, 0, "")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("capture-only log misnumbered: %+v", evs)
+	}
+}
+
+func TestRunRingNewestFirstAndBounded(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.runCap = 3
+	for i := 1; i <= 5; i++ {
+		rec.AddRun(RunSummary{Req: string(rune('0' + i))})
+	}
+	runs := rec.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("retained %d runs, want 3", len(runs))
+	}
+	for i, want := range []string{"5", "4", "3"} {
+		if runs[i].Req != want {
+			t.Errorf("runs[%d].Req = %q, want %q (newest first)", i, runs[i].Req, want)
+		}
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, Req: "r", Kind: Admit, Node: 4},
+		{Seq: 2, Req: "r", Kind: ProbeCacheMiss, Node: 4, Probe: "J\x00k", Cause: "cold"},
+		{Seq: 3, Req: "r", Kind: SQLExec, Node: 4, Probe: "J\x00k", Alive: true, Dur: 42 * time.Microsecond},
+		{Seq: 4, Req: "r", Kind: Verdict, Node: 4, Alive: true},
+	}
+	sum := &RunSummary{Req: "r", Keywords: []string{"a", "b"}, Strategy: "SBH",
+		Workers: 1, Probes: 1, SQLIssued: 1, SQLMS: 0.042, Answers: 1, Events: 4}
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, events, sum); err != nil {
+		t.Fatal(err)
+	}
+	led, err := ReadLedger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Events) != len(events) {
+		t.Fatalf("read %d events, want %d", len(led.Events), len(events))
+	}
+	for i, ev := range led.Events {
+		if ev != events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, events[i])
+		}
+	}
+	if led.Summary == nil || led.Summary.Req != "r" || led.Summary.Events != 4 {
+		t.Errorf("summary = %+v, want the written one", led.Summary)
+	}
+	if got := led.Summary.CacheHitRate(); got != 0 {
+		t.Errorf("CacheHitRate() = %v, want 0", got)
+	}
+}
+
+func TestReadLedgerTolerant(t *testing.T) {
+	raw := strings.Join([]string{
+		`{"v":2,"type":"event","seq":1,"kind":"quantum_probe","node":7}`,
+		`{"v":2,"type":"annotation","note":"future line type"}`,
+		`{"v":1,"type":"event","seq":2,"kind":"admit","node":7}`,
+		``,
+		`{"v":1,"type":"summary","summary":{"req":"x","workers":1,"data_version":0,"map_ms":0,"prune_ms":0,"mtn_ms":0,"traverse_ms":0,"probes":0,"cache_hits":0,"sql_issued":0,"sql_ms":0,"answers":0,"non_answers":0}}`,
+	}, "\n")
+	led, err := ReadLedger(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(led.Events) != 2 {
+		t.Fatalf("read %d events, want 2 (annotation skipped)", len(led.Events))
+	}
+	if led.Events[0].Kind != KindUnknown {
+		t.Errorf("future kind parsed as %v, want KindUnknown", led.Events[0].Kind)
+	}
+	if led.Events[1].Kind != Admit {
+		t.Errorf("known kind parsed as %v, want Admit", led.Events[1].Kind)
+	}
+	if led.Summary == nil || led.Summary.Req != "x" {
+		t.Errorf("summary = %+v, want req x", led.Summary)
+	}
+}
+
+func TestReadLedgerRejectsGarbage(t *testing.T) {
+	if _, err := ReadLedger(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line should fail loudly, not silently skip")
+	}
+}
+
+func TestWriteLedgerFileSanitizesStem(t *testing.T) {
+	dir := t.TempDir()
+	path, err := WriteLedgerFile(dir, "../../evil req", nil, &RunSummary{Req: "evil"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(path, "..") || !strings.HasPrefix(path, dir) {
+		t.Fatalf("unsafe ledger path %q", path)
+	}
+	if _, err := LoadLedger(path); err != nil {
+		t.Fatalf("load back: %v", err)
+	}
+}
+
+func TestAnalyzeGroupsChains(t *testing.T) {
+	led := &Ledger{Events: []Event{
+		{Seq: 1, Kind: CandSetMiss, Node: -1, Probe: "sig"},
+		{Seq: 2, Kind: Admit, Node: 4},
+		{Seq: 3, Kind: ProbeCacheMiss, Node: 4, Probe: "key4", Cause: "cold"},
+		{Seq: 4, Kind: SQLExec, Node: 4, Probe: "key4", Alive: true, Dur: 10 * time.Millisecond},
+		{Seq: 5, Kind: Verdict, Node: 4, Alive: true},
+		{Seq: 6, Kind: Admit, Node: 9},
+		{Seq: 7, Kind: ProbeCacheHit, Node: 9, Probe: "key9", Alive: false},
+		{Seq: 8, Kind: Verdict, Node: 9, Alive: false},
+		{Seq: 9, Kind: Exhausted, Node: -1, Cause: "probe_budget"},
+	}}
+	a := Analyze(led)
+	if len(a.Probes) != 2 {
+		t.Fatalf("grouped %d probes, want 2", len(a.Probes))
+	}
+	p4 := a.Probes[0]
+	if p4.Node != 4 || p4.Identity() != "key4" || p4.SQLExecs != 1 || p4.SQLTime != 10*time.Millisecond || !p4.Alive {
+		t.Errorf("node 4 chain wrong: %+v", p4)
+	}
+	p9 := a.Probes[1]
+	if p9.CacheHits != 1 || p9.SQLExecs != 0 || p9.Alive {
+		t.Errorf("node 9 chain wrong: %+v", p9)
+	}
+	if a.TotalSQL != 10*time.Millisecond || a.Exhausted != "probe_budget" || a.CandSetMisses != 1 {
+		t.Errorf("aggregates wrong: %+v", a)
+	}
+	if got := a.Slowest(1); len(got) != 1 || got[0].Node != 4 {
+		t.Errorf("Slowest(1) = %+v, want node 4", got)
+	}
+}
+
+// TestDiffAttributesColdRun is the analyzer's core promise in miniature: run A
+// is warm (all cache hits, no SQL), run B is cold (misses + SQL), and the diff
+// must attribute the entire SQL-time delta to the newly missed probes.
+func TestDiffAttributesColdRun(t *testing.T) {
+	warm := Analyze(&Ledger{Events: []Event{
+		{Seq: 1, Kind: Admit, Node: 4},
+		{Seq: 2, Kind: ProbeCacheHit, Node: 4, Probe: "key4", Alive: true},
+		{Seq: 3, Kind: Verdict, Node: 4, Alive: true},
+	}})
+	cold := Analyze(&Ledger{Events: []Event{
+		{Seq: 1, Kind: Admit, Node: 7}, // different node ID: matching is by key
+		{Seq: 2, Kind: ProbeCacheMiss, Node: 7, Probe: "key4", Cause: "cold"},
+		{Seq: 3, Kind: SQLExec, Node: 7, Probe: "key4", Alive: true, Dur: 5 * time.Millisecond},
+		{Seq: 4, Kind: Verdict, Node: 7, Alive: true},
+		{Seq: 5, Kind: Admit, Node: 8},
+		{Seq: 6, Kind: ProbeCacheMiss, Node: 8, Probe: "key8", Cause: "cold"},
+		{Seq: 7, Kind: SQLExec, Node: 8, Probe: "key8", Alive: false, Dur: 2 * time.Millisecond},
+		{Seq: 8, Kind: Verdict, Node: 8, Alive: false},
+	}})
+	d := Diff(warm, cold)
+	if d.SQLDelta != 7*time.Millisecond {
+		t.Fatalf("SQLDelta = %v, want 7ms", d.SQLDelta)
+	}
+	if d.Explained != d.SQLDelta {
+		t.Errorf("Explained = %v, want the full delta %v", d.Explained, d.SQLDelta)
+	}
+	if d.NewlyMissed != 2 {
+		t.Errorf("NewlyMissed = %d, want 2", d.NewlyMissed)
+	}
+	// Largest delta first: key4 (5ms) before key8 (2ms).
+	if len(d.Entries) != 2 || d.Entries[0].Key != "key4" || d.Entries[1].Key != "key8" {
+		t.Fatalf("entries = %+v, want key4 then key8", d.Entries)
+	}
+	if d.Entries[1].OnlyIn != "b" {
+		t.Errorf("key8 OnlyIn = %q, want b", d.Entries[1].OnlyIn)
+	}
+	var buf bytes.Buffer
+	d.RenderDiff(&buf, "warm", "cold", 10)
+	out := buf.String()
+	for _, want := range []string{"sql delta (B-A): 7ms", "newly missed cache: 2", "(100%)", "only-in-b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderDiff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderSummaryAndSlow(t *testing.T) {
+	led := &Ledger{
+		Events: []Event{
+			{Seq: 1, Kind: Admit, Node: 4},
+			{Seq: 2, Kind: SQLExec, Node: 4, Probe: "key4", Alive: true, Dur: time.Millisecond},
+		},
+		Summary: &RunSummary{Req: "007", Keywords: []string{"x"}, Strategy: "SBH",
+			Workers: 2, Probes: 1, CacheHits: 0, SQLIssued: 1, Incomplete: true, IncompleteReason: "deadline"},
+	}
+	var buf bytes.Buffer
+	a := Analyze(led)
+	a.RenderSummary(&buf)
+	for _, want := range []string{"run 007", "INCOMPLETE(deadline)", "admit=1", "sql_exec=1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	a.RenderSlow(&buf, 5)
+	if !strings.Contains(buf.String(), "node=4") || !strings.Contains(buf.String(), "dur=1ms") {
+		t.Errorf("slow view missing probe chain:\n%s", buf.String())
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	l := NewLog(nil, "ctx", false)
+	ctx := NewContext(t.Context(), l)
+	if FromContext(ctx) != l {
+		t.Fatal("FromContext lost the log")
+	}
+	if FromContext(t.Context()) != nil {
+		t.Fatal("FromContext on bare context should be nil")
+	}
+	if got := NewContext(t.Context(), nil); FromContext(got) != nil {
+		t.Fatal("NewContext(nil) should not install anything")
+	}
+}
+
+func BenchmarkEmitRingOnly(b *testing.B) {
+	rec := NewRecorder(DefaultRingSize)
+	l := NewLog(rec, "bench", false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit(SQLExec, 7, "probe-key", true, time.Millisecond, "")
+	}
+}
+
+func BenchmarkEmitNil(b *testing.B) {
+	var l *Log
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Emit(SQLExec, 7, "probe-key", true, time.Millisecond, "")
+	}
+}

@@ -361,16 +361,27 @@ type Sample struct {
 // gauges as-is, histograms as their _count and _sum.
 func (r *Registry) Samples() []Sample {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
-		fams = append(fams, f)
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.fams[n])
 	}
 	r.mu.Unlock()
 
 	var out []Sample
 	for _, f := range fams {
 		f.mu.Lock()
-		for k, m := range f.children {
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			m := f.children[k]
 			switch f.typ {
 			case counterType:
 				out = append(out, Sample{f.name, k, m.(*Counter).Value()})

@@ -1,0 +1,25 @@
+package obs
+
+import "context"
+
+// Request IDs travel the context so every layer below the HTTP server — the
+// engine's retry loop, the flight recorder, ad-hoc diagnostics — can stamp
+// what it logs with the request that caused it. The server's logging
+// middleware is the producer; anything that writes a log line or an event on
+// behalf of a request is a consumer. Without this seam a retry storm is just
+// N anonymous warnings: visible, but impossible to correlate with the one
+// request that suffered them.
+
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request's correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's correlation ID, or "" when the work is not
+// attributed to a request (CLI runs, tests, background jobs).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"sync"
 	"time"
+
+	"kwsdbg/internal/clock"
 )
 
 // Span is one timed region of a request, with attributes and child spans.
@@ -26,7 +28,7 @@ type spanKey struct{}
 // The caller owns the root: End it when the request finishes, then serialize
 // it (it marshals to JSON as a nested span tree).
 func StartTrace(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: clock.Now()}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
 
@@ -44,7 +46,7 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if parent == nil {
 		return ctx, nil
 	}
-	child := &Span{name: name, start: time.Now()}
+	child := &Span{name: name, start: clock.Now()}
 	parent.mu.Lock()
 	parent.children = append(parent.children, child)
 	parent.mu.Unlock()
@@ -58,7 +60,7 @@ func (s *Span) End() {
 	}
 	s.mu.Lock()
 	if s.dur == 0 {
-		s.dur = time.Since(s.start)
+		s.dur = clock.Since(s.start)
 	}
 	s.mu.Unlock()
 }
@@ -103,7 +105,7 @@ func (s *Span) Duration() time.Duration {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dur == 0 {
-		return time.Since(s.start)
+		return clock.Since(s.start)
 	}
 	return s.dur
 }
@@ -153,7 +155,7 @@ func (s *Span) MarshalJSON() ([]byte, error) {
 	s.mu.Lock()
 	dur := s.dur
 	if dur == 0 {
-		dur = time.Since(s.start)
+		dur = clock.Since(s.start)
 	}
 	attrs := make(map[string]any, len(s.attrs))
 	for k, v := range s.attrs {

@@ -21,7 +21,7 @@ package probecache
 
 import (
 	"container/list"
-	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -109,14 +109,26 @@ func New(cfg Config) *Cache {
 // set, is already part of the label). Nodes that use only copy 1 therefore
 // share entries between any two queries whose first keyword matches.
 func Key(label string, copyMask uint64, keywords []string) string {
+	// Built with plain writes, not fmt: the flight recorder computes a key
+	// per probe even when the verdict cache is bypassed, so this sits on the
+	// recording hot path.
+	n := len(label)
+	for j := 1; j <= len(keywords); j++ {
+		if copyMask&(1<<uint(j)) != 0 {
+			n += len(keywords[j-1]) + 4 // '\x00' + up to 2 digits + '='
+		}
+	}
 	var sb strings.Builder
-	sb.Grow(len(label) + 16)
+	sb.Grow(n)
 	sb.WriteString(label)
 	for j := 1; j <= len(keywords); j++ {
 		if copyMask&(1<<uint(j)) == 0 {
 			continue
 		}
-		fmt.Fprintf(&sb, "\x00%d=%s", j, keywords[j-1])
+		sb.WriteByte('\x00')
+		sb.WriteString(strconv.Itoa(j))
+		sb.WriteByte('=')
+		sb.WriteString(keywords[j-1])
 	}
 	return sb.String()
 }
@@ -149,29 +161,76 @@ func (c *Cache) SyncGeneration(gen uint64) {
 	}
 }
 
+// Outcome classifies one lookup: a hit, or which way it missed. The split
+// matters for provenance — a cold miss means the probe was simply never
+// cached, a stale/expired miss means the data churned underneath an entry
+// that existed — so the flight recorder records the cause, not just the
+// boolean.
+type Outcome uint8
+
+const (
+	// Hit answered the probe from cache.
+	Hit Outcome = iota
+	// MissCold means no entry existed for the key.
+	MissCold
+	// MissStale means the entry's data generation was superseded.
+	MissStale
+	// MissExpired means the entry's TTL had lapsed.
+	MissExpired
+)
+
+// Cause is the outcome's short wire name: "" for a hit, otherwise the miss
+// class ("cold", "stale", "expired").
+func (o Outcome) Cause() string {
+	switch o {
+	case MissCold:
+		return "cold"
+	case MissStale:
+		return "stale"
+	case MissExpired:
+		return "expired"
+	default:
+		return ""
+	}
+}
+
 // Get returns the cached verdict for the key, if it is present, current, and
 // unexpired. Stale entries (older generation or past TTL) are evicted on
 // contact and reported as misses.
 func (c *Cache) Get(key string) (alive, ok bool) {
+	alive, outcome := c.Lookup(key)
+	return alive, outcome == Hit
+}
+
+// Lookup is Get with the miss cause: it distinguishes entries that never
+// existed from entries invalidated by a generation bump or TTL expiry.
+// Stale and expired entries are evicted on contact, exactly as in Get.
+func (c *Cache) Lookup(key string) (alive bool, outcome Outcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, found := c.items[key]
 	if !found {
 		c.misses++
 		mMisses.Inc()
-		return false, false
+		return false, MissCold
 	}
 	en := el.Value.(*entry)
-	if en.gen != c.gen || (!en.expires.IsZero() && c.now().After(en.expires)) {
+	if en.gen != c.gen {
 		c.removeLocked(el, true)
 		c.misses++
 		mMisses.Inc()
-		return false, false
+		return false, MissStale
+	}
+	if !en.expires.IsZero() && c.now().After(en.expires) {
+		c.removeLocked(el, true)
+		c.misses++
+		mMisses.Inc()
+		return false, MissExpired
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
 	mHits.Inc()
-	return en.alive, true
+	return en.alive, Hit
 }
 
 // Put stores a verdict under the current generation, evicting the least

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/obs/flight"
 )
 
 // Admission control: the expensive endpoints (/debug, /search — both bottom
@@ -72,8 +73,14 @@ func (s *Server) admit(ctx context.Context) (func(), bool) {
 
 // shed rejects an unadmitted request: 429 with a Retry-After hint sized to
 // the bounded wait, so well-behaved clients back off instead of hammering.
-func (s *Server) shed(w http.ResponseWriter) {
+// The rejection lands in the flight ring too, so /debug/flight shows shed
+// requests interleaved with the probe traffic that crowded them out.
+func (s *Server) shed(w http.ResponseWriter, r *http.Request) {
 	mShed.Inc()
+	if s.Recorder != nil {
+		flight.NewLog(s.Recorder, obs.RequestID(r.Context()), false).
+			Emit(flight.Shed, -1, "", false, 0, "capacity")
+	}
 	retry := s.AdmissionWait
 	if retry <= 0 {
 		retry = DefaultAdmissionWait

@@ -5,7 +5,9 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200][&probe_path=prepared|text]
+//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200][&probe_path=prepared|text][&ledger=1]
+//	GET /debug/runs
+//	GET /debug/flight[?req=000042]
 //	GET /search?q=red+candle[&k=10]
 //	GET /metrics
 //	GET /healthz
@@ -15,6 +17,15 @@
 // response embeds the request's span tree — per-phase wall clock plus the
 // Phase 3 probe accounting — under "trace". Every request is logged
 // structurally through log/slog with a request ID, status, and duration.
+//
+// Observability: every /debug run feeds the process-wide flight recorder
+// (internal/obs/flight) — a fixed-size ring of probe-lifecycle events.
+// /debug/runs lists recent run summaries from the ring, /debug/flight dumps
+// the raw ring (optionally filtered to one request ID), and 5xx error bodies
+// attach the failing request's events so the evidence survives the response.
+// With ledger=1 (requires Server.LedgerDir) the run's complete event stream
+// plus its summary are written as a JSONL ledger for offline analysis with
+// cmd/kwstrace; the response carries the file in an X-Kwsdbg-Ledger header.
 //
 // Resource governance: /debug and /search pass through an admission
 // semaphore (Server.MaxInflight) and are shed with 429 + Retry-After when
@@ -37,9 +48,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/core"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/obs"
+	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/report"
 )
 
@@ -80,6 +93,13 @@ type Server struct {
 	// means unlimited. Requests can tighten it with ?budget=N but never
 	// exceed it.
 	ProbeBudget int
+	// Recorder is the flight-event ring every /debug run records into. New
+	// installs a default-size ring; replace it before serving to resize.
+	Recorder *flight.Recorder
+	// LedgerDir enables ?ledger=1: completed runs write their JSONL event
+	// ledger under this directory. Empty leaves ledgers off (requests asking
+	// for one get a 400).
+	LedgerDir string
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -87,8 +107,11 @@ type Server struct {
 
 // New builds the handler around a ready system.
 func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux(), Timeout: 30 * time.Second}
+	s := &Server{sys: sys, mux: http.NewServeMux(), Timeout: 30 * time.Second,
+		Recorder: flight.NewRecorder(0)}
 	s.mux.HandleFunc("/debug", s.handleDebug)
+	s.mux.HandleFunc("/debug/runs", s.handleRuns)
+	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", obs.Default.Handler())
@@ -123,7 +146,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // metricPath collapses unknown paths so the path label stays low-cardinality.
 func metricPath(p string) string {
 	switch p {
-	case "/debug", "/search", "/healthz", "/metrics":
+	case "/debug", "/debug/runs", "/debug/flight", "/search", "/healthz", "/metrics":
 		return p
 	default:
 		return "other"
@@ -140,6 +163,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	sw.Header().Set("X-Request-ID", id)
+	// The ID rides the context so deeper layers (engine retry logging, the
+	// flight recorder) can attribute their events to this request.
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
 	s.mux.ServeHTTP(sw, r)
 
 	elapsed := time.Since(start)
@@ -191,8 +217,41 @@ func jsonBody(v any) ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	body := map[string]any{"error": err.Error()}
+	// Server-side failures attach the request's flight events: by the time
+	// an operator reads the 5xx the ring may have wrapped, so the evidence
+	// travels with the response.
+	if status >= 500 && s.Recorder != nil {
+		if evs := s.Recorder.Snapshot(obs.RequestID(r.Context())); len(evs) > 0 {
+			body["flight"] = flightJSON(evs)
+		}
+	}
+	s.writeJSON(w, status, body)
+}
+
+// flightEventJSON is the wire form of one flight event in /debug/flight and
+// 5xx bodies; it matches the ledger's event schema minus the envelope.
+type flightEventJSON struct {
+	Seq   uint64 `json:"seq"`
+	Req   string `json:"req,omitempty"`
+	Kind  string `json:"kind"`
+	Node  int32  `json:"node"`
+	Probe string `json:"probe,omitempty"`
+	Alive bool   `json:"alive,omitempty"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Cause string `json:"cause,omitempty"`
+}
+
+func flightJSON(evs []flight.Event) []flightEventJSON {
+	out := make([]flightEventJSON, len(evs))
+	for i, ev := range evs {
+		out[i] = flightEventJSON{
+			Seq: ev.Seq, Req: ev.Req, Kind: ev.Kind.String(), Node: ev.Node,
+			Probe: ev.Probe, Alive: ev.Alive, DurNS: int64(ev.Dur), Cause: ev.Cause,
+		}
+	}
+	return out
 }
 
 // keywords parses the q parameter into keyword fields.
@@ -207,14 +266,14 @@ func keywords(r *http.Request) ([]string, error) {
 func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	kws, err := keywords(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	strat := core.SBH
 	if name := r.URL.Query().Get("strategy"); name != "" {
 		strat, err = parseStrategy(name)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err)
+			s.writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 	}
@@ -222,7 +281,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("workers"); raw != "" {
 		workers, err = strconv.Atoi(raw)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q (want an integer)", raw))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad workers parameter %q (want an integer)", raw))
 			return
 		}
 		// Out-of-range values are clamped into [1, core.MaxWorkers] rather
@@ -236,7 +295,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
 		ms, err := strconv.Atoi(raw)
 		if err != nil || ms <= 0 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad deadline_ms parameter %q (want a positive integer)", raw))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad deadline_ms parameter %q (want a positive integer)", raw))
 			return
 		}
 		deadline = time.Duration(ms) * time.Millisecond
@@ -249,7 +308,7 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("budget"); raw != "" {
 		b, err := strconv.Atoi(raw)
 		if err != nil || b <= 0 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad budget parameter %q (want a positive integer)", raw))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad budget parameter %q (want a positive integer)", raw))
 			return
 		}
 		if budget <= 0 || b < budget {
@@ -265,17 +324,29 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	case "text":
 		textProbes = true
 	default:
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad probe_path parameter %q (want prepared or text)", raw))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad probe_path parameter %q (want prepared or text)", raw))
+		return
+	}
+	// ledger=1 additionally captures the run's full event stream and writes
+	// it as a JSONL ledger; it needs a configured directory.
+	wantLedger := r.URL.Query().Get("ledger") == "1"
+	if wantLedger && s.LedgerDir == "" {
+		s.writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("ledger=1 requires the server to be started with a ledger directory"))
 		return
 	}
 	release, ok := s.admit(r.Context())
 	if !ok {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	defer release()
 	ctx, cancel := s.context(r)
 	defer cancel()
+	// One flight log per run: it stamps events with the request ID and, for
+	// ledger runs, keeps the private copy the JSONL file is written from.
+	fl := flight.NewLog(s.Recorder, obs.RequestID(ctx), wantLedger)
+	ctx = flight.NewContext(ctx, fl)
 	var root *obs.Span
 	if r.URL.Query().Get("trace") == "1" {
 		ctx, root = obs.StartTrace(ctx, "debug")
@@ -290,22 +361,92 @@ func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
 	})
 	root.End()
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	if out.Incomplete {
 		mBudgetExhausted.With(out.IncompleteReason).Inc()
 	}
+	sum := s.runSummary(fl, kws, workers, budget, out)
+	if s.Recorder != nil {
+		s.Recorder.AddRun(sum)
+	}
+	if wantLedger {
+		if path, lerr := flight.WriteLedgerFile(s.LedgerDir, sum.Req, fl.Events(), &sum); lerr != nil {
+			s.logger().Warn("ledger write failed",
+				slog.String("request_id", sum.Req), slog.String("error", lerr.Error()))
+		} else {
+			w.Header().Set("X-Kwsdbg-Ledger", path)
+		}
+	}
 	opts := report.JSONOptions{ShowSQL: r.URL.Query().Get("sql") == "1", Trace: root}
 	var buf bytes.Buffer
 	if err := report.JSONOpts(&buf, out, opts); err != nil {
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := io.Copy(w, &buf); err != nil {
 		s.logger().Warn("write response", slog.String("error", err.Error()))
 	}
+}
+
+// runSummary digests a finished debug run for the recent-runs ring and the
+// ledger's closing record.
+func (s *Server) runSummary(fl *flight.Log, kws []string, workers, budget int, out *core.Output) flight.RunSummary {
+	st := out.Stats
+	return flight.RunSummary{
+		Req:         fl.Req(),
+		UnixNS:      clock.Now().UnixNano(),
+		Keywords:    kws,
+		Strategy:    st.Strategy.String(),
+		Workers:     core.ClampWorkers(workers),
+		DataVersion: s.sys.Engine().DataVersion(),
+
+		MapMS:      ms(st.MapTime),
+		PruneMS:    ms(st.PruneTime),
+		MTNMS:      ms(st.MTNTime),
+		TraverseMS: ms(st.TraverseTime),
+
+		Probes:    st.SQLExecuted,
+		CacheHits: st.CacheHits,
+		SQLIssued: st.SQLIssued(),
+		SQLMS:     ms(st.SQLTime),
+
+		PlanCompiles:  st.PlanCompiles,
+		CandSetHits:   st.CandSetHits,
+		CandSetMisses: st.CandSetMisses,
+
+		BudgetLimit:      budget,
+		Incomplete:       out.Incomplete,
+		IncompleteReason: out.IncompleteReason,
+
+		Answers:    len(out.Answers),
+		NonAnswers: len(out.NonAnswers),
+		Events:     fl.Count(),
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// handleRuns lists the recorder's retained run summaries, most recent first.
+// It answers from the in-memory ring, so it works with no ledger configured.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	runs := []flight.RunSummary{}
+	if s.Recorder != nil {
+		runs = append(runs, s.Recorder.Runs()...)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"runs": runs})
+}
+
+// handleFlight dumps the flight ring in sequence order, optionally filtered
+// to one request ID with ?req=.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	var evs []flight.Event
+	if s.Recorder != nil {
+		evs = s.Recorder.Snapshot(r.URL.Query().Get("req"))
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"events": flightJSON(evs)})
 }
 
 // searchResponse is the /search JSON schema. When the query has no exact
@@ -332,12 +473,12 @@ type partialResult struct {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	kws, err := keywords(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	release, ok := s.admit(r.Context())
 	if !ok {
-		s.shed(w)
+		s.shed(w, r)
 		return
 	}
 	defer release()
@@ -345,13 +486,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("k"); raw != "" {
 		k, err = strconv.Atoi(raw)
 		if err != nil || k <= 0 || k > 1000 {
-			s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad k parameter %q", raw))
+			s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad k parameter %q", raw))
 			return
 		}
 	}
 	results, partials, missing, err := s.sys.SearchPartial(kws, k)
 	if err != nil {
-		s.writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
 		return
 	}
 	conv := func(res core.SearchResult) searchResult {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race verify experiments bench chaos
+.PHONY: all build vet lint test race verify experiments bench chaos chaos-writes
 
 all: verify
 
@@ -36,10 +36,10 @@ test:
 
 # The observability layer, the server middleware, the core pipeline, the
 # engine (including the plan cache under concurrent Prepare/Select/Insert),
-# and the probe cache are the concurrency-sensitive packages; run them under
-# the race detector.
+# the probe cache, and storage (serialized writers against snapshot readers)
+# are the concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache ./internal/storage
 
 verify: build vet lint test race
 
@@ -53,6 +53,14 @@ experiments:
 chaos:
 	$(GO) test -count=5 -run 'Chaos|Fault|Retry|Budget|Deadline|Cancel' ./internal/engine ./internal/core
 
+# Concurrent INSERT storms against in-flight warm debug runs, under the race
+# detector: writers serialize in storage, readers see consistent prefixes,
+# and at quiesce the repaired warm output must be byte-identical to a cold
+# run at every worker count. Repeated because the interleavings that matter
+# are scheduling-dependent.
+chaos-writes:
+	$(GO) test -race -count=3 -run 'ChaosWriteStorm|RepairAcrossWorkerCounts' ./internal/core
+
 # Probe scheduler + cache sweep, the budget degradation curve, the
 # prepared-plan comparison, and the flight-recorder overhead check: renders
 # the tables to stdout and writes the machine-readable reports (ns/op,
@@ -62,9 +70,17 @@ chaos:
 # BENCH_plan.json, and BENCH_flight.json. GOMAXPROCS is pinned so the speedup
 # columns are comparable across hosts; every report records both the
 # requested and effective value.
+#
+# The second invocation runs the write-churn sweep (BENCH_writes.json) at
+# -maxlevel 5 — the level-5 lattice is where Q3 actually probes — showing a
+# disjoint-table write invalidates 0 probe-cache entries and a warm repaired
+# run beats a cold run by >= 2x fewer SQL probes.
 BENCH_GOMAXPROCS ?= 4
 bench:
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan,flight \
 		-gomaxprocs $(BENCH_GOMAXPROCS) \
 		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json \
 		-plan-json BENCH_plan.json -flight-json BENCH_flight.json
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 5 -only writes \
+		-gomaxprocs $(BENCH_GOMAXPROCS) \
+		-writes-json BENCH_writes.json

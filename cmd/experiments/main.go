@@ -34,6 +34,7 @@ func main() {
 	degradeJSON := flag.String("degrade-json", "", "path where the 'degrade' step writes its JSON report")
 	planJSON := flag.String("plan-json", "", "path where the 'plan' step writes its JSON report")
 	flightJSON := flag.String("flight-json", "", "path where the 'flight' step writes its JSON report")
+	writesJSON := flag.String("writes-json", "", "path where the 'writes' step writes its JSON report")
 	procs := flag.Int("gomaxprocs", 0, "set GOMAXPROCS before measuring (0 = leave the runtime default); recorded in every JSON report")
 	verbose := flag.Bool("v", false, "log progress to stderr")
 	flag.Parse()
@@ -41,13 +42,13 @@ func main() {
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
-	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *planJSON, *flightJSON, *procs, *verbose); err != nil {
+	if err := run(os.Stdout, *scale, *seed, *maxLevel, *only, *cacheDir, *probeJSON, *degradeJSON, *planJSON, *flightJSON, *writesJSON, *procs, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON, planJSON, flightJSON string, procs int, verbose bool) error {
+func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, probeJSON, degradeJSON, planJSON, flightJSON, writesJSON string, procs int, verbose bool) error {
 	if maxLevel < 3 {
 		return fmt.Errorf("-maxlevel must be >= 3")
 	}
@@ -113,6 +114,26 @@ func run(w io.Writer, scale float64, seed int64, maxLevel int, only, cacheDir, p
 	}
 	if maxLevel >= 7 {
 		steps = append(steps, step{"fig15", func() (*bench.Table, error) { return bench.Alternatives(env, 7) }})
+	}
+	if maxLevel >= 5 {
+		// The write-churn sweep needs the level-5 lattice: below it Q3
+		// prunes without issuing SQL and there are no verdicts to churn.
+		steps = append(steps, step{"writes", func() (*bench.Table, error) {
+			t, rep, err := bench.WritesSweep(env, 5)
+			if err != nil {
+				return nil, err
+			}
+			if writesJSON != "" {
+				body, err := json.MarshalIndent(rep, "", "  ")
+				if err != nil {
+					return nil, err
+				}
+				if err := os.WriteFile(writesJSON, append(body, '\n'), 0o644); err != nil {
+					return nil, err
+				}
+			}
+			return t, nil
+		}})
 	}
 	steps = append(steps,
 		step{"probe", func() (*bench.Table, error) {

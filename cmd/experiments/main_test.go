@@ -7,7 +7,7 @@ import (
 
 func TestRunAllExperimentsSmall(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 3, "", "", "", "", "", "", 0, false); err != nil {
+	if err := run(&sb, 0.01, 1, 3, "", "", "", "", "", "", "", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -26,7 +26,7 @@ func TestRunAllExperimentsSmall(t *testing.T) {
 
 func TestRunOnlySelection(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 3, "tab2, fig13", "", "", "", "", "", 0, false); err != nil {
+	if err := run(&sb, 0.01, 1, 3, "tab2, fig13", "", "", "", "", "", "", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -40,7 +40,7 @@ func TestRunOnlySelection(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 2, "", "", "", "", "", "", 0, false); err == nil {
+	if err := run(&sb, 0.01, 1, 2, "", "", "", "", "", "", "", 0, false); err == nil {
 		t.Error("maxlevel 2 accepted")
 	}
 }

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"kwsdbg/internal/dblife"
+)
+
+// TestWritesSweep pins the acceptance numbers of the version-vector fix: the
+// disjoint-table write invalidates zero probe-cache entries, every write-side
+// effect on the cache is a suspect repaired in place (no stale evictions),
+// and the warm repaired run after an intersecting write issues at least 2x
+// fewer probes than the cold baseline.
+func TestWritesSweep(t *testing.T) {
+	env, err := NewEnv(dblife.Config{Seed: 1, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, rep, err := WritesSweep(env, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(tbl.Rows) != len(rep.Phases) {
+		t.Fatalf("table rows = %d, phases = %d", len(tbl.Rows), len(rep.Phases))
+	}
+	if rep.ColdProbes == 0 || rep.Entries == 0 {
+		t.Fatalf("sweep degenerated: cold_probes=%d entries=%d", rep.ColdProbes, rep.Entries)
+	}
+	if rep.DisjointInvalidated != 0 {
+		t.Errorf("disjoint write invalidated %d entries, want 0", rep.DisjointInvalidated)
+	}
+	if rep.ProbeSavingsVsCold < 2 {
+		t.Errorf("probe savings vs cold = %.2fx, want >= 2x", rep.ProbeSavingsVsCold)
+	}
+	byLabel := map[string]WritesPhase{}
+	for _, p := range rep.Phases {
+		byLabel[p.Label] = p
+	}
+	if p := byLabel["steady"]; p.Probes != 0 {
+		t.Errorf("steady-state run issued %d probes with a warm cache", p.Probes)
+	}
+	if p := byLabel["disjoint-write"]; p.Suspects != 0 || p.StaleEvictions != 0 || p.Probes != 0 {
+		t.Errorf("disjoint write disturbed the cache: %+v", p)
+	}
+	touch := byLabel["touching-write"]
+	if touch.Suspects == 0 || touch.Repaired != touch.Suspects {
+		t.Errorf("touching write: suspects=%d repaired=%d, want equal and nonzero",
+			touch.Suspects, touch.Repaired)
+	}
+	if touch.StaleEvictions != 0 {
+		t.Errorf("monotone touching write evicted %d entries as stale", touch.StaleEvictions)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kwsdbg/internal/probecache"
+)
+
+// TestChaosWriteStorm hammers the debugger with concurrent INSERTs while
+// warm cached runs are in flight (run under -race by `make chaos-writes`).
+// Mid-storm runs must stay error-free — each sees some consistent prefix of
+// the writes, with intersecting verdicts suspected and repaired rather than
+// trusted stale. Once the storm quiesces, warm repaired runs at every worker
+// count must match a cold run of the final data exactly.
+func TestChaosWriteStorm(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+	if _, err := sys.Debug(kws, Options{Strategy: SBH}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	const writers, perWriter = 4, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := 100 + w*perWriter + i
+				var stmt string
+				switch i % 3 {
+				case 0:
+					stmt = fmt.Sprintf(
+						"INSERT INTO Item VALUES (%d, 'saffron scented candle %d', 2, 4, 1, 5.0, 'storm')", id, id)
+				case 1:
+					stmt = fmt.Sprintf("INSERT INTO Attr VALUES (%d, 'scent', 'storm%d')", id, id)
+				default:
+					stmt = fmt.Sprintf("INSERT INTO PType VALUES (%d, 'storm%d')", id, id)
+				}
+				if _, err := sys.Engine().Exec(stmt); err != nil {
+					errs <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Debug continuously while the storm runs: correctness mid-storm is
+	// "no error, no panic, no race"; output identity is checked at quiesce.
+	stormDone := make(chan struct{})
+	go func() { wg.Wait(); close(stormDone) }()
+	for running := true; running; {
+		select {
+		case <-stormDone:
+			running = false
+		default:
+			if _, err := sys.Debug(kws, Options{Strategy: SBH, Workers: 4}); err != nil {
+				t.Fatalf("mid-storm debug: %v", err)
+			}
+		}
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cold, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("cold run at quiesce: %v", err)
+	}
+	want := normalized(cold)
+	for _, workers := range []int{1, 4, 8} {
+		warm, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers})
+		if err != nil {
+			t.Fatalf("warm run workers=%d at quiesce: %v", workers, err)
+		}
+		if got := normalized(warm); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: repaired warm run diverges from cold run after storm\ngot:  %+v\nwant: %+v",
+				workers, got, want)
+		}
+	}
+}

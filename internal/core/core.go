@@ -188,6 +188,13 @@ type Stats struct {
 	PlanCompiles  int // probe handles compiled this run (handle-cache misses)
 	CandSetHits   int // candidate-set lookups shared from the run's cache
 	CandSetMisses int // candidate-set lookups computed from the index
+
+	// Verdict-repair accounting, execution-dependent like the block above:
+	// Suspects is how many probes found their cached dead verdict
+	// downgraded by an intervening write, Repaired how many fresh
+	// verdicts this run stored back for them.
+	Suspects int
+	Repaired int
 }
 
 // SQLIssued is the number of probes that actually reached the database:
@@ -394,10 +401,12 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	if opts.TextProbes {
 		sqlOr := newSQLOracle(probeCtx, sys.lat, sys.db, keywords)
 		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
-			// Tie the cache generation to the data: verdicts learned before
-			// any INSERT or index invalidation become unreachable here,
-			// before the first probe of this run could read one.
-			cache.SyncGeneration(sys.eng.DataVersion())
+			// Sync the cache's version view before the first probe could
+			// read a verdict: writes that landed since the last run turn
+			// intersecting dead verdicts into suspects (re-probed below)
+			// while disjoint and alive verdicts keep serving hits. The
+			// returned view is this run's stamp for stored verdicts.
+			sqlOr.view = cache.SyncVersions(sys.eng.Versions())
 			sqlOr.cache = cache
 		}
 		sqlOr.fl = fl
@@ -405,7 +414,7 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	} else {
 		prepOr = newPreparedOracle(probeCtx, sys.lat, sys.eng, sys.prepared, keywords)
 		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
-			cache.SyncGeneration(sys.eng.DataVersion())
+			prepOr.view = cache.SyncVersions(sys.eng.Versions())
 			prepOr.cache = cache
 		}
 		prepOr.setFlight(fl)
@@ -442,6 +451,8 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	out.Stats.Inferred = inferred
 	out.Stats.CacheHits = ost.CacheHits
 	out.Stats.PlanCompiles = ost.Compiled
+	out.Stats.Suspects = ost.Suspects
+	out.Stats.Repaired = ost.Repaired
 	if prepOr != nil {
 		ch, cm := prepOr.candStats()
 		out.Stats.CandSetHits, out.Stats.CandSetMisses = int(ch), int(cm)

@@ -4,15 +4,18 @@ import (
 	"context"
 	"database/sql"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kwsdbg/internal/clock"
 	"kwsdbg/internal/engine"
+	"kwsdbg/internal/invidx"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/probecache"
+	"kwsdbg/internal/vervec"
 )
 
 // Oracle answers aliveness probes for lattice nodes: does the node's
@@ -47,6 +50,42 @@ type OracleStats struct {
 	Compiled int
 	// SQLTime is wall time spent executing probe SQL (cache hits cost none).
 	SQLTime time.Duration
+	// Suspects counts probes whose cached dead verdict a write had
+	// downgraded: the lookup could not be trusted and the probe re-ran.
+	// Repaired counts the fresh verdicts stored back for them. Both depend
+	// on cross-request cache state, never on the query.
+	Suspects int
+	Repaired int
+}
+
+// nodeFootprint is the version-vector footprint of a node's existence query:
+// the distinct relations its join tree reads (suspect trigger set) plus the
+// inverted-index tokens of its bound keywords (provenance). Slices are sorted
+// so the footprint — which reaches ledgers through cache internals — is
+// deterministic regardless of vertex order.
+func nodeFootprint(lat *lattice.Lattice, nodeID int, keywords []string) probecache.Footprint {
+	node := lat.Node(nodeID)
+	tabs := make(map[string]struct{}, len(node.Vertices))
+	terms := make(map[string]struct{}, len(node.Vertices))
+	for _, v := range node.Vertices {
+		tabs[vervec.TableKey(v.Rel)] = struct{}{}
+		if v.Copy >= 1 && v.Copy <= len(keywords) {
+			for _, tok := range invidx.Tokenize(keywords[v.Copy-1]) {
+				terms[vervec.TermKey(tok)] = struct{}{}
+			}
+		}
+	}
+	tabList := make([]string, 0, len(tabs))
+	for t := range tabs {
+		tabList = append(tabList, t)
+	}
+	sort.Strings(tabList)
+	termList := make([]string, 0, len(terms))
+	for t := range terms {
+		termList = append(termList, t)
+	}
+	sort.Strings(termList)
+	return probecache.Footprint{Tables: tabList, Terms: termList}
 }
 
 // batchPreparer is implemented by oracles that benefit from compiling a
@@ -74,9 +113,13 @@ type preparedOracle struct {
 
 	// cache, when non-nil, is the cross-request aliveness cache; verdicts
 	// are looked up by (canonical label, keyword binding) before any SQL
-	// and stored after. Its generation is synced with the engine's data
-	// version by debugWith, never here.
+	// and stored after. Its version view is synced with the engine's
+	// vector by debugWith, never here.
 	cache *probecache.Cache
+	// view is this run's version-vector snapshot, taken by debugWith before
+	// the first probe. Verdicts are stamped against it so a write this
+	// run's probes did not see cannot be vouched for.
+	view *vervec.View
 
 	// handles is the System-level cross-request handle cache; local holds
 	// this run's resolved handles (nodeID -> *engine.Prepared) so repeat
@@ -85,6 +128,8 @@ type preparedOracle struct {
 	local   sync.Map
 	// keys memoizes probe identities (nodeID -> string); see probeKey.
 	keys sync.Map
+	// fps memoizes probe footprints (nodeID -> probecache.Footprint).
+	fps sync.Map
 
 	// cands shares indexed candidate row sets across this run's probes.
 	cands *engine.CandidateCache
@@ -97,6 +142,8 @@ type preparedOracle struct {
 	cacheHits atomic.Int64
 	compiled  atomic.Int64
 	sqlNanos  atomic.Int64
+	suspects  atomic.Int64
+	repaired  atomic.Int64
 }
 
 func newPreparedOracle(ctx context.Context, lat *lattice.Lattice, eng *engine.Engine, handles *engine.PreparedCache, keywords []string) *preparedOracle {
@@ -127,6 +174,16 @@ func (o *preparedOracle) probeKey(nodeID int) string {
 	key := probecache.Key(node.Label, node.CopyMask, o.keywords)
 	o.keys.Store(nodeID, key)
 	return key
+}
+
+// footprint memoizes the node's version-vector footprint, mirroring probeKey.
+func (o *preparedOracle) footprint(nodeID int) probecache.Footprint {
+	if v, ok := o.fps.Load(nodeID); ok {
+		return v.(probecache.Footprint)
+	}
+	fp := nodeFootprint(o.lat, nodeID, o.keywords)
+	o.fps.Store(nodeID, fp)
+	return fp
 }
 
 // handle resolves the node's Prepared handle: per-run map, then the
@@ -173,6 +230,7 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	if o.cache != nil || o.fl != nil {
 		key = o.probeKey(nodeID)
 	}
+	suspect := false
 	if o.cache != nil {
 		alive, outcome := o.cache.Lookup(key)
 		if outcome == probecache.Hit {
@@ -181,7 +239,16 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 			o.fl.Emit(flight.ProbeCacheHit, nodeID, key, alive, 0, "")
 			return alive, nil
 		}
-		o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
+		if outcome == probecache.Suspect {
+			// A write touched a footprint table since the dead verdict was
+			// proved; re-probe to repair it (an INSERT can only flip
+			// dead -> alive, so the alive branch above stays trustworthy).
+			suspect = true
+			o.suspects.Add(1)
+			o.fl.Emit(flight.Suspect, nodeID, key, false, 0, outcome.Cause())
+		} else {
+			o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
+		}
 	}
 	// The timer covers full probe servicing — handle lookup (or compile)
 	// plus execution — mirroring the text path, which times render plus
@@ -201,9 +268,23 @@ func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	o.sqlNanos.Add(int64(dur))
 	o.fl.Emit(flight.SQLExec, nodeID, key, alive, dur, "")
 	if o.cache != nil {
-		o.cache.Put(key, alive)
+		o.cache.PutFP(key, alive, o.footprint(nodeID), o.view)
+		if suspect {
+			o.repaired.Add(1)
+			o.fl.Emit(flight.Repair, nodeID, key, alive, 0, repairCause(alive))
+		}
 	}
 	return alive, nil
+}
+
+// repairCause labels a Repair event: "flipped" when the write the suspect
+// feared really did resurrect the query, "confirmed" when the re-probe proved
+// the dead verdict still holds.
+func repairCause(alive bool) string {
+	if alive {
+		return "flipped"
+	}
+	return "confirmed"
 }
 
 // Stats implements Oracle.
@@ -213,6 +294,8 @@ func (o *preparedOracle) Stats() OracleStats {
 		CacheHits: int(o.cacheHits.Load()),
 		Compiled:  int(o.compiled.Load()),
 		SQLTime:   time.Duration(o.sqlNanos.Load()),
+		Suspects:  int(o.suspects.Load()),
+		Repaired:  int(o.repaired.Load()),
 	}
 }
 
@@ -233,8 +316,10 @@ type sqlOracle struct {
 	db       *sql.DB
 	keywords []string
 
-	// cache is the cross-request aliveness cache, as in preparedOracle.
+	// cache is the cross-request aliveness cache, as in preparedOracle;
+	// view the run's version-vector snapshot verdicts are stamped against.
 	cache *probecache.Cache
+	view  *vervec.View
 
 	// fl records probe provenance, as in preparedOracle. Plan and retry
 	// events on this path come from the engine via the context instead
@@ -244,6 +329,8 @@ type sqlOracle struct {
 	executed  atomic.Int64
 	cacheHits atomic.Int64
 	sqlNanos  atomic.Int64
+	suspects  atomic.Int64
+	repaired  atomic.Int64
 }
 
 func newSQLOracle(ctx context.Context, lat *lattice.Lattice, db *sql.DB, keywords []string) *sqlOracle {
@@ -257,6 +344,7 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 		node := o.lat.Node(nodeID)
 		key = probecache.Key(node.Label, node.CopyMask, o.keywords)
 	}
+	suspect := false
 	if o.cache != nil {
 		alive, outcome := o.cache.Lookup(key)
 		if outcome == probecache.Hit {
@@ -265,7 +353,13 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 			o.fl.Emit(flight.ProbeCacheHit, nodeID, key, alive, 0, "")
 			return alive, nil
 		}
-		o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
+		if outcome == probecache.Suspect {
+			suspect = true
+			o.suspects.Add(1)
+			o.fl.Emit(flight.Suspect, nodeID, key, false, 0, outcome.Cause())
+		} else {
+			o.fl.Emit(flight.ProbeCacheMiss, nodeID, key, false, 0, outcome.Cause())
+		}
 	}
 	// Rendering is inside the timer: it is part of servicing a text-path
 	// probe, and skipping it is precisely what the prepared path is for.
@@ -291,7 +385,11 @@ func (o *sqlOracle) IsAlive(nodeID int) (bool, error) {
 	o.sqlNanos.Add(int64(dur))
 	o.fl.Emit(flight.SQLExec, nodeID, key, alive, dur, "")
 	if o.cache != nil {
-		o.cache.Put(key, alive)
+		o.cache.PutFP(key, alive, nodeFootprint(o.lat, nodeID, o.keywords), o.view)
+		if suspect {
+			o.repaired.Add(1)
+			o.fl.Emit(flight.Repair, nodeID, key, alive, 0, repairCause(alive))
+		}
 	}
 	return alive, nil
 }
@@ -302,5 +400,7 @@ func (o *sqlOracle) Stats() OracleStats {
 		Executed:  int(o.executed.Load()),
 		CacheHits: int(o.cacheHits.Load()),
 		SQLTime:   time.Duration(o.sqlNanos.Load()),
+		Suspects:  int(o.suspects.Load()),
+		Repaired:  int(o.repaired.Load()),
 	}
 }

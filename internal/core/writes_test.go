@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"kwsdbg/internal/probecache"
+)
+
+// TestRepairFrontierOnlyReprobesSuspects is the tentpole's core-level claim:
+// after a write, a warm run re-issues SQL only for the suspect frontier —
+// dead verdicts whose footprints the write intersected — and repairs them.
+// Alive verdicts and disjoint dead verdicts keep answering from the cache,
+// and the repaired output matches a cold run after the same write exactly.
+func TestRepairFrontierOnlyReprobesSuspects(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+
+	warm1, err := sys.Debug(kws, Options{Strategy: SBH})
+	if err != nil {
+		t.Fatalf("warm-up run: %v", err)
+	}
+	if warm1.Stats.SQLIssued() == 0 {
+		t.Fatal("warm-up run issued no SQL; fixture broken")
+	}
+
+	if _, err := sys.Engine().Exec(
+		"INSERT INTO Item VALUES (5, 'saffron scented candle', 2, 4, 4, 9.5, 'new stock')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+
+	cold, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("cold run after insert: %v", err)
+	}
+	preWarm := sys.ProbeCache().Snapshot()
+	warm2, err := sys.Debug(kws, Options{Strategy: SBH})
+	if err != nil {
+		t.Fatalf("warm run after insert: %v", err)
+	}
+	postWarm := sys.ProbeCache().Snapshot()
+
+	if warm2.Stats.Suspects == 0 {
+		t.Fatalf("write flipped the answer set but suspected nothing: %+v", warm2.Stats)
+	}
+	if warm2.Stats.Repaired != warm2.Stats.Suspects {
+		t.Errorf("Repaired = %d, Suspects = %d; every suspect this run probed must be repaired",
+			warm2.Stats.Repaired, warm2.Stats.Suspects)
+	}
+	// The over-invalidation fix itself: the write evicted nothing. Dead
+	// verdicts it touched were downgraded to suspects (and repaired in
+	// place); alive and disjoint verdicts kept serving. Any SQL beyond the
+	// suspect re-probes is for nodes this traversal reaches for the first
+	// time — the insert changed the answer set, so the probe frontier
+	// moved — never a flushed verdict recomputed.
+	if postWarm.EvictionsStale != preWarm.EvictionsStale {
+		t.Errorf("monotone insert evicted %d entries as stale; suspects must repair in place",
+			postWarm.EvictionsStale-preWarm.EvictionsStale)
+	}
+	if warm2.Stats.SQLIssued() < warm2.Stats.Suspects {
+		t.Errorf("warm run issued %d SQL probes but reports %d suspects",
+			warm2.Stats.SQLIssued(), warm2.Stats.Suspects)
+	}
+	if warm2.Stats.SQLIssued() >= cold.Stats.SQLIssued() {
+		t.Errorf("repair run issued %d probes, cold run %d; repair saved nothing",
+			warm2.Stats.SQLIssued(), cold.Stats.SQLIssued())
+	}
+	if got, want := normalized(warm2), normalized(cold); !reflect.DeepEqual(got, want) {
+		t.Errorf("repaired warm run diverges from cold run\ngot:  %+v\nwant: %+v", got, want)
+	}
+	// The insert resurrected the canonical Example 1 query: answers exist.
+	if len(warm2.Answers) == 0 {
+		t.Error("post-insert run still reports no answers")
+	}
+}
+
+// TestRepairAcrossWorkerCounts interleaves INSERTs with warm runs at several
+// worker counts: every repaired run must equal the cold run after the same
+// prefix of writes, regardless of concurrency — the serial-order scheduler's
+// guarantee extended to the repair path.
+func TestRepairAcrossWorkerCounts(t *testing.T) {
+	inserts := []string{
+		"INSERT INTO Item VALUES (5, 'saffron scented candle', 2, 4, 4, 9.5, 'new stock')",
+		"INSERT INTO Attr VALUES (5, 'scent', 'saffron')",
+		"INSERT INTO Item VALUES (6, 'plain candle', 2, 2, 2, 2.5, 'unscented')",
+		"INSERT INTO PType VALUES (4, 'soap')",
+	}
+	for _, workers := range []int{1, 4, 8} {
+		sys := productSystem(t)
+		sys.SetProbeCache(probecache.New(probecache.Config{}))
+		kws := []string{"saffron", "scented", "candle"}
+		if _, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers}); err != nil {
+			t.Fatalf("workers=%d warm-up: %v", workers, err)
+		}
+		for i, ins := range inserts {
+			if _, err := sys.Engine().Exec(ins); err != nil {
+				t.Fatalf("workers=%d insert %d: %v", workers, i, err)
+			}
+			cold, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers, BypassCache: true})
+			if err != nil {
+				t.Fatalf("workers=%d cold after insert %d: %v", workers, i, err)
+			}
+			warm, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d warm after insert %d: %v", workers, i, err)
+			}
+			if got, want := normalized(warm), normalized(cold); !reflect.DeepEqual(got, want) {
+				t.Fatalf("workers=%d insert %d: repaired run diverges from cold run\ngot:  %+v\nwant: %+v",
+					workers, i, got, want)
+			}
+		}
+	}
+}
+
+// TestBypassCacheSeesNoRepairTraffic: with the cache bypassed there is no
+// verdict to suspect, so the repair counters must stay zero.
+func TestBypassCacheSeesNoRepairTraffic(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+	if _, err := sys.Debug(kws, Options{Strategy: SBH}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Engine().Exec(
+		"INSERT INTO Item VALUES (5, 'saffron scented candle', 2, 4, 4, 9.5, 'new stock')"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Suspects != 0 || out.Stats.Repaired != 0 {
+		t.Errorf("bypassed run reported repair traffic: %+v", out.Stats)
+	}
+}

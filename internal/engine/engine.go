@@ -23,6 +23,7 @@ import (
 	"kwsdbg/internal/invidx"
 	"kwsdbg/internal/sqltext"
 	"kwsdbg/internal/storage"
+	"kwsdbg/internal/vervec"
 )
 
 // Engine executes SQL against one database. It is safe for concurrent
@@ -32,8 +33,16 @@ type Engine struct {
 
 	// version counts observed data mutations: INSERTs through the engine,
 	// explicit index invalidations, and staleness detected at index
-	// rebuild time. Cross-request caches key their generations off it.
+	// rebuild time. It survives as the coarse fallback; fine-grained
+	// staleness goes through vv.
 	version atomic.Uint64
+
+	// vv attributes every observed mutation to the tables and terms it
+	// touched, so footprint-stamped artifacts (plans, candidate sets,
+	// probe verdicts) survive writes disjoint from their join trees.
+	// Mutations that cannot be attributed (InvalidateIndex after in-place
+	// updates) advance its epoch instead, which stales every stamp.
+	vv *vervec.Vector
 
 	mu      sync.Mutex
 	ix      *invidx.Index
@@ -56,8 +65,13 @@ type Engine struct {
 
 // New wraps an already-populated database.
 func New(db *storage.Database) *Engine {
-	return &Engine{db: db, plans: NewPreparedCache(DefaultPlanCacheSize, "text")}
+	return &Engine{db: db, plans: NewPreparedCache(DefaultPlanCacheSize, "text"), vv: vervec.New()}
 }
+
+// Versions exposes the engine's per-table/per-term version vector, the
+// fine-grained refinement of DataVersion. Cached artifacts stamp their
+// footprint against it and the probe cache syncs a snapshot per run.
+func (e *Engine) Versions() *vervec.Vector { return e.vv }
 
 // PlanCache exposes the text-path plan cache for sizing, health stats, and
 // cold-start benchmarks.
@@ -115,13 +129,17 @@ func (e *Engine) Index() *invidx.Index {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.ix != nil {
-		if !e.indexStaleLocked() {
+		stale := e.staleTablesLocked()
+		if len(stale) == 0 {
 			return e.ix
 		}
 		// Rows reached storage without passing through Exec (tests and
 		// tools insert directly); surface the mutation to version-keyed
-		// caches the same way the index rebuild reacts to it.
+		// caches the same way the index rebuild reacts to it, attributing
+		// the appended rows' tables and terms to the version vector so
+		// footprint-stamped artifacts stale no wider than necessary.
 		e.version.Add(1)
+		e.attributeAppendsLocked(stale)
 	}
 	e.ix = invidx.Build(e.db)
 	e.ixSizes = make(map[string]int)
@@ -133,14 +151,55 @@ func (e *Engine) Index() *invidx.Index {
 	return e.ix
 }
 
-func (e *Engine) indexStaleLocked() bool {
+// staleTablesLocked lists tables whose row count moved since the index was
+// built, in schema order (deterministic).
+func (e *Engine) staleTablesLocked() []string {
+	var stale []string
 	for _, rel := range e.db.Schema().Relations() {
 		t, ok := e.db.Table(rel.Name)
 		if ok && e.ixSizes[rel.Name] != t.RowCount() {
-			return true
+			stale = append(stale, rel.Name)
 		}
 	}
-	return false
+	return stale
+}
+
+// attributeAppendsLocked bumps the version vector for rows that reached
+// storage directly. Appended rows are readable (ixSizes remembers where the
+// index stopped), so their text values are tokenized exactly as execInsert
+// would have; a table that *shrank* has no attributable footprint and
+// advances the epoch instead.
+func (e *Engine) attributeAppendsLocked(stale []string) {
+	var names []string
+	seen := make(map[string]bool)
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, tn := range stale {
+		t, ok := e.db.Table(tn)
+		if !ok {
+			continue
+		}
+		if t.RowCount() < e.ixSizes[tn] {
+			e.vv.BumpEpoch()
+			return
+		}
+		add(vervec.TableKey(tn))
+		for id := e.ixSizes[tn]; id < t.RowCount(); id++ {
+			for _, v := range t.Row(storage.RowID(id)) {
+				if v.Kind != catalog.Text {
+					continue
+				}
+				for _, tok := range invidx.Tokenize(v.S) {
+					add(vervec.TermKey(tok))
+				}
+			}
+		}
+	}
+	e.vv.Bump(names...)
 }
 
 // InvalidateIndex forces the next Index call to rebuild. Needed after
@@ -150,6 +209,10 @@ func (e *Engine) InvalidateIndex() {
 	defer e.mu.Unlock()
 	e.ix = nil
 	e.version.Add(1)
+	// In-place updates are non-monotone (a row's text may have *lost* a
+	// term), so no footprint can vouch for any cached artifact: advance the
+	// epoch, which stales every stamp at once.
+	e.vv.BumpEpoch()
 }
 
 // DataVersion returns a counter that advances whenever the engine observes a
@@ -227,6 +290,27 @@ func (e *Engine) execInsert(ins *sqltext.Insert) error {
 		return fmt.Errorf("engine: unknown table %q", ins.Table)
 	}
 	e.version.Add(1)
+	// Attribute the write before any row becomes visible: a footprint
+	// stamped between the bump and the insert goes stale — the safe
+	// direction — while the reverse order could vouch for data the reader
+	// never saw. Terms come from the statement's text literals, the same
+	// tokens the inverted index will see.
+	names := []string{vervec.TableKey(ins.Table)}
+	seen := map[string]bool{names[0]: true}
+	for _, litRow := range ins.Rows {
+		for _, lit := range litRow {
+			if lit.Kind != sqltext.LitString {
+				continue
+			}
+			for _, tok := range invidx.Tokenize(lit.S) {
+				if k := vervec.TermKey(tok); !seen[k] {
+					seen[k] = true
+					names = append(names, k)
+				}
+			}
+		}
+	}
+	e.vv.Bump(names...)
 	rel := tbl.Relation()
 	for _, litRow := range ins.Rows {
 		if len(litRow) != len(rel.Columns) {

@@ -36,7 +36,9 @@ var (
 	mPlanCompiles = obs.Default.Counter("kwsdbg_plan_compiles_total",
 		"Selects compiled into Prepared handles (resolve-once events).")
 	mPlanReplans = obs.Default.Counter("kwsdbg_plan_replans_total",
-		"Prepared handles re-planned after a DataVersion bump.")
+		"Prepared handles re-planned after a write intersected their footprint.")
+	mPlanReplanGiveup = obs.Default.Counter("kwsdbg_plan_replan_giveup_total",
+		"Replan/candidate-set loops abandoned after maxReplanAttempts of sustained write churn.")
 )
 
 // Candidate-set cache metrics: per-alias indexed row sets shared across the

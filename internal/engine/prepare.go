@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
 	"strings"
@@ -15,36 +16,56 @@ import (
 	"kwsdbg/internal/obs/flight"
 	"kwsdbg/internal/sqltext"
 	"kwsdbg/internal/storage"
+	"kwsdbg/internal/vervec"
 )
 
 // This file is the prepared-probe pipeline: a Select is compiled once into a
 // bound query (Prepare — names resolved, predicates classified, never redone),
 // its per-alias plans are derived lazily and revalidated against the engine's
-// data version on every execution (re-plan on a generation bump, never
-// re-resolve), and the indexed candidate row sets that recur across the
-// lattice nodes of one debug run can be shared through a CandidateCache.
-// Phase 3 existence probes dominate the online cost, and before this layer
-// every probe paid parse -> resolve -> plan against an immutable schema.
+// version vector on every execution (re-plan only when a write intersected
+// the plan's own FROM tables, never re-resolve), and the indexed candidate
+// row sets that recur across the lattice nodes of one debug run can be shared
+// through a CandidateCache. Phase 3 existence probes dominate the online
+// cost, and before this layer every probe paid parse -> resolve -> plan
+// against an immutable schema.
+
+// maxReplanAttempts bounds every plan-under-churn loop in this file: the
+// handle replan loop and the candidate-set recompute loop give up after the
+// same number of retries, because both retries have the same trigger (a
+// concurrent write landing inside the footprint mid-computation) and the
+// same cost model. Exhaustion is counted in kwsdbg_plan_replan_giveup_total.
+const maxReplanAttempts = 8
+
+// ErrReplanChurn marks a replan abandoned because concurrent writes kept
+// landing inside the plan's footprint on every attempt. It is wrapped as
+// Transient: the retry layer backs off and re-enters the replan loop, which
+// converges the moment the write storm pauses for one planning window.
+var ErrReplanChurn = errors.New("engine: replan abandoned under sustained write churn")
 
 // compiledPlan is one planning outcome: the per-alias access paths and join
-// order valid for a specific data version. It is immutable after
-// construction, which is what lets concurrent executions share it through an
-// atomic pointer.
+// order valid while no write intersects the stamped footprint. It is
+// immutable after construction, which is what lets concurrent executions
+// share it through an atomic pointer.
 type compiledPlan struct {
-	version uint64
-	plans   []aliasPlan
-	order   []int
+	stamp vervec.Stamp
+	plans []aliasPlan
+	order []int
 }
 
 // Prepared is a compiled, reusable query handle. The bound query is fixed at
 // Prepare time (the schema is immutable after load); the plan is computed on
-// first execution and recomputed only when the engine's DataVersion has
-// advanced past the plan's version. A Prepared is safe for concurrent
-// ExecContext calls and may be shared across requests indefinitely — a stale
-// handle never serves a stale plan, it re-plans.
+// first execution and recomputed only when the engine's version vector shows
+// a write to one of the plan's own FROM tables — writes to unrelated tables
+// leave it untouched. A Prepared is safe for concurrent ExecContext calls
+// and may be shared across requests indefinitely — a stale handle never
+// serves a stale plan, it re-plans.
 type Prepared struct {
-	e    *Engine
-	bq   *boundQuery
+	e  *Engine
+	bq *boundQuery
+	// fp is the plan's footprint: the vector names of the query's FROM
+	// tables, fixed at Prepare time. Plans read only these tables' indexes,
+	// so the footprint slice of the version vector decides staleness.
+	fp   []string
 	plan atomic.Pointer[compiledPlan]
 }
 
@@ -57,7 +78,21 @@ func (e *Engine) Prepare(sel *sqltext.Select) (*Prepared, error) {
 		return nil, err
 	}
 	mPlanCompiles.Inc()
-	return &Prepared{e: e, bq: bq}, nil
+	return &Prepared{e: e, bq: bq, fp: planFootprint(bq)}, nil
+}
+
+// planFootprint collects the distinct FROM tables of a bound query as
+// version-vector names, in alias order (deterministic).
+func planFootprint(bq *boundQuery) []string {
+	seen := make(map[string]bool, len(bq.rels))
+	names := make([]string, 0, len(bq.rels))
+	for _, rel := range bq.rels {
+		if k := vervec.TableKey(rel.Name); !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	return names
 }
 
 // PrepareQuery parses and compiles a SELECT statement in one step.
@@ -73,20 +108,28 @@ func (e *Engine) PrepareQuery(sql string) (*Prepared, error) {
 	return e.Prepare(sel)
 }
 
-// replan computes a fresh plan. The version is read before planning: plan()
-// itself can advance it (Index detects staleness while rebuilding), and
-// stamping the earlier value errs in the safe direction — the next execution
-// sees a version mismatch and plans again, it never trusts data the plan did
-// not see. The loop converges as soon as no mutation lands mid-plan.
-func (p *Prepared) replan(cands *CandidateCache) *compiledPlan {
+// replan computes a fresh plan. The footprint is stamped before planning:
+// planWith itself can advance the vector (Index attributes directly-appended
+// rows while rebuilding), and stamping the earlier values errs in the safe
+// direction — the next execution sees a stale stamp and plans again, it
+// never trusts data the plan did not see. The loop converges as soon as no
+// write intersecting the plan's own tables lands mid-plan; after
+// maxReplanAttempts it gives up with a Transient-wrapped ErrReplanChurn so
+// the retry layer backs off instead of spinning against the write storm.
+func (p *Prepared) replan(cands *CandidateCache) (*compiledPlan, error) {
 	mPlanReplans.Inc()
 	for attempt := 0; ; attempt++ {
-		v := p.e.DataVersion()
+		st := p.e.vv.Stamp(p.fp)
 		plans, order := p.e.planWith(p.bq, cands)
-		if p.e.DataVersion() == v || attempt >= 3 {
-			cp := &compiledPlan{version: v, plans: plans, order: order}
+		if !p.e.vv.Stale(st) {
+			cp := &compiledPlan{stamp: st, plans: plans, order: order}
 			p.plan.Store(cp)
-			return cp
+			return cp, nil
+		}
+		if attempt >= maxReplanAttempts {
+			mPlanReplanGiveup.Inc()
+			return nil, Transient(fmt.Errorf("engine: %d plan attempts each raced a concurrent write: %w",
+				attempt+1, ErrReplanChurn))
 		}
 	}
 }
@@ -116,6 +159,12 @@ func (p *Prepared) ExecContext(ctx context.Context, cands *CandidateCache) (*Res
 func (p *Prepared) ExecFlight(ctx context.Context, cands *CandidateCache, fl *flight.Log, node int, probe string) (*Result, error) {
 	pol := p.e.retryPolicy()
 	delay := pol.BaseDelay
+	// MaxDelay caps every backoff including the first: normalized() lets
+	// BaseDelay exceed MaxDelay (each zero field defaults independently),
+	// and the cap, not the base, is the configured ceiling.
+	if delay > pol.MaxDelay {
+		delay = pol.MaxDelay
+	}
 	for attempt := 1; ; attempt++ {
 		res, err := p.execOnce(ctx, cands, fl, node, probe)
 		if err == nil || attempt >= pol.MaxAttempts || !IsTransient(err) {
@@ -158,7 +207,7 @@ func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache, fl *flig
 		}
 	}
 	start := time.Now()
-	if cp := p.plan.Load(); cp != nil && cp.version == p.e.DataVersion() {
+	if cp := p.plan.Load(); cp != nil && !p.e.vv.Stale(cp.stamp) {
 		fl.Emit(flight.PlanReuse, node, probe, false, 0, "")
 		return p.e.runPlan(ctx, p.bq, cp.plans, cp.order, start)
 	} else if cp != nil {
@@ -166,7 +215,10 @@ func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache, fl *flig
 	} else {
 		fl.Emit(flight.Replan, node, probe, false, 0, "cold")
 	}
-	cp := p.replan(cands)
+	cp, err := p.replan(cands)
+	if err != nil {
+		return nil, err
+	}
 	return p.e.runPlan(ctx, p.bq, cp.plans, cp.order, start)
 }
 
@@ -175,8 +227,10 @@ func (p *Prepared) execOnce(ctx context.Context, cands *CandidateCache, fl *flig
 // copy, so the same CONTAINS lookup — index probe, intersection, membership
 // map — recurs across probes; entries are keyed by table plus the resolved
 // predicate's signature (alias-independent), computed once under a
-// single-flight, and revalidated against the engine's data version so an
-// INSERT between probes can never serve a stale set. The zero value is not
+// single-flight, and revalidated against the entry's footprint slice of the
+// engine's version vector so an INSERT between probes can never serve a
+// stale set — while writes that cannot change the set (a different table, or
+// rows missing the predicate's terms) leave it shared. The zero value is not
 // usable; see NewCandidateCache. Safe for concurrent use.
 type CandidateCache struct {
 	mu sync.Mutex
@@ -203,13 +257,61 @@ func (c *CandidateCache) SetFlight(fl *flight.Log) {
 	}
 }
 
-// candEntry is one computed candidate set. version, ids, and member are
-// written under once and immutable afterwards.
+// candEntry is one computed candidate set. stamp, groups, ids, and member
+// are written under once and immutable afterwards.
 type candEntry struct {
-	once    sync.Once
-	version uint64
-	ids     []storage.RowID
-	member  map[storage.RowID]bool
+	once sync.Once
+	// stamp snapshots the entry's footprint (table counter first, then the
+	// predicate's term counters) at compute time; groups are the footprint's
+	// per-branch term indices (see candFootprint).
+	stamp  vervec.Stamp
+	groups [][]int
+	ids    []storage.RowID
+	member map[storage.RowID]bool
+}
+
+// candFootprint describes what a candidate set depends on. names[0] is the
+// table's vector name; the rest are term names. groups holds, per indexable
+// predicate branch, the indices into names of the terms a new row must carry
+// to enter that branch's set — an empty group means any write to the table
+// can change the set (integer-equality branches).
+type candFootprint struct {
+	names  []string
+	groups [][]int
+}
+
+// candStale decides whether a cached candidate set may have changed: the
+// epoch moved, or the table advanced AND some branch's terms all advanced
+// with it. The conjunction is sound because a row can only join a CONTAINS
+// branch's set when it carries every token of the branch's literal, and
+// execInsert bumps a row's table and all its tokens atomically — so a write
+// that changes the set necessarily advances the table and a full group
+// together. A write into the table without the terms (or the terms into
+// another table) proves the set unchanged, which is the whole point.
+func (e *Engine) candStale(en *candEntry) bool {
+	vv := e.vv
+	if vv.EpochChanged(en.stamp.Epoch) {
+		return true
+	}
+	if !vv.Advanced(en.stamp.Names[0], en.stamp.Vals[0]) {
+		return false
+	}
+	if len(en.groups) == 0 {
+		return true
+	}
+	for _, g := range en.groups {
+		all := true
+		for _, i := range g {
+			if !vv.Advanced(en.stamp.Names[i], en.stamp.Vals[i]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
 }
 
 // NewCandidateCache returns an empty cache. One cache serves one logical
@@ -224,12 +326,15 @@ func (c *CandidateCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
 
-// get returns the candidate set for key, computing it at most once per data
-// version. A stale entry (computed before the engine's current version) is
-// replaced and recomputed; the loop is bounded because every retry requires
-// an actual concurrent mutation, and even the bounded fallback is no weaker
-// than uncached planning, which also reads the index at one instant.
-func (c *CandidateCache) get(e *Engine, key string, compute func() []storage.RowID) *candEntry {
+// get returns the candidate set for key, computing it at most once per
+// footprint state. A stale entry (a write intersected its footprint since it
+// was computed) is replaced and recomputed; the loop is bounded by
+// maxReplanAttempts because every retry requires an actual concurrent
+// footprint-intersecting mutation, and even the bounded fallback is no
+// weaker than uncached planning, which also reads the index at one instant —
+// exhaustion is surfaced through kwsdbg_plan_replan_giveup_total rather than
+// an error, because the planning paths this feeds cannot propagate one.
+func (c *CandidateCache) get(e *Engine, key string, fp candFootprint, compute func() []storage.RowID) *candEntry {
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		en, ok := c.entries[key]
@@ -241,7 +346,10 @@ func (c *CandidateCache) get(e *Engine, key string, compute func() []storage.Row
 		computed := false
 		en.once.Do(func() {
 			computed = true
-			en.version = e.DataVersion()
+			// Stamp before computing: a write landing mid-compute makes
+			// the stamp stale rather than vouching for rows it never saw.
+			en.stamp = e.vv.Stamp(fp.names)
+			en.groups = fp.groups
 			en.ids = compute()
 			en.member = make(map[storage.RowID]bool, len(en.ids))
 			for _, id := range en.ids {
@@ -257,7 +365,11 @@ func (c *CandidateCache) get(e *Engine, key string, compute func() []storage.Row
 			mCandSetHits.Inc()
 			c.fl.Emit(flight.CandSetHit, -1, key, false, 0, "")
 		}
-		if en.version == e.DataVersion() || attempt >= 8 {
+		if !e.candStale(en) {
+			return en
+		}
+		if attempt >= maxReplanAttempts {
+			mPlanReplanGiveup.Inc()
 			return en
 		}
 		mCandSetStale.Inc()
@@ -340,9 +452,47 @@ func (e *Engine) candidateSet(bq *boundQuery, ix *invidx.Index, a int, p rpred, 
 		ids, _ := e.indexable(bq, ix, a, p)
 		return ids, nil, true
 	}
-	en := cands.get(e, candKey(bq.rels[a].Name, p), func() []storage.RowID {
+	table := bq.rels[a].Name
+	en := cands.get(e, candKey(table, p), candFP(table, p), func() []storage.RowID {
 		ids, _ := e.indexable(bq, ix, a, p)
 		return ids
 	})
 	return en.ids, en.member, true
+}
+
+// candFP builds the footprint of one indexable predicate: the table's vector
+// name plus, per CONTAINS branch, the branch literal's tokens as one term
+// group. Non-CONTAINS branches contribute an empty group (any table write
+// may change them).
+func candFP(table string, p rpred) candFootprint {
+	fp := candFootprint{names: []string{vervec.TableKey(table)}}
+	idx := make(map[string]int)
+	var walk func(p rpred)
+	walk = func(p rpred) {
+		switch pr := p.(type) {
+		case *rcmp:
+			if pr.op == sqltext.OpContains && pr.lit.Kind == sqltext.LitString {
+				var g []int
+				for _, tok := range invidx.Tokenize(pr.lit.S) {
+					k := vervec.TermKey(tok)
+					i, ok := idx[k]
+					if !ok {
+						i = len(fp.names)
+						idx[k] = i
+						fp.names = append(fp.names, k)
+					}
+					g = append(g, i)
+				}
+				fp.groups = append(fp.groups, g)
+			} else {
+				fp.groups = append(fp.groups, nil)
+			}
+		case *ror:
+			for _, t := range pr.terms {
+				walk(t)
+			}
+		}
+	}
+	walk(p)
+	return fp
 }

@@ -31,6 +31,12 @@ type RetryPolicy struct {
 	MaxDelay time.Duration
 }
 
+// normalized fills zero fields with the documented defaults. Each zero field
+// independently selects its default — a policy with BaseDelay above
+// DefaultRetry.MaxDelay and a zero MaxDelay still gets the 50ms default cap,
+// it does not silently inherit the oversized base. The retry loop caps every
+// delay (the first included) at MaxDelay, so BaseDelay > MaxDelay is a legal,
+// if odd, configuration meaning "always back off exactly MaxDelay".
 func (p RetryPolicy) normalized() RetryPolicy {
 	if p.MaxAttempts < 1 {
 		p.MaxAttempts = 1
@@ -38,8 +44,8 @@ func (p RetryPolicy) normalized() RetryPolicy {
 	if p.BaseDelay <= 0 {
 		p.BaseDelay = DefaultRetry.BaseDelay
 	}
-	if p.MaxDelay < p.BaseDelay {
-		p.MaxDelay = p.BaseDelay
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultRetry.MaxDelay
 	}
 	return p
 }

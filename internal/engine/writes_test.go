@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"kwsdbg/internal/vervec"
+)
+
+// TestRetryPolicyNormalizedZeroMaxDelay is the regression for the doc/behavior
+// mismatch: a zero MaxDelay selects the documented 50ms default even when
+// BaseDelay exceeds it — it must not silently inherit the oversized base.
+func TestRetryPolicyNormalizedZeroMaxDelay(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 2, BaseDelay: 200 * time.Millisecond}.normalized()
+	if p.MaxDelay != DefaultRetry.MaxDelay {
+		t.Errorf("MaxDelay = %v, want the %v default", p.MaxDelay, DefaultRetry.MaxDelay)
+	}
+	if p.BaseDelay != 200*time.Millisecond {
+		t.Errorf("BaseDelay = %v, want the configured 200ms", p.BaseDelay)
+	}
+
+	want := RetryPolicy{MaxAttempts: 1, BaseDelay: DefaultRetry.BaseDelay, MaxDelay: DefaultRetry.MaxDelay}
+	if z := (RetryPolicy{}).normalized(); z != want {
+		t.Errorf("zero policy normalized to %+v, want %+v", z, want)
+	}
+	if n := (RetryPolicy{MaxAttempts: -3, BaseDelay: -time.Second, MaxDelay: -time.Second}).normalized(); n.MaxAttempts != 1 || n.BaseDelay != DefaultRetry.BaseDelay || n.MaxDelay != DefaultRetry.MaxDelay {
+		t.Errorf("negative policy normalized to %+v", n)
+	}
+	// BaseDelay > MaxDelay with both set is legal and preserved: the retry
+	// loop caps each delay at MaxDelay at use time.
+	odd := RetryPolicy{MaxAttempts: 2, BaseDelay: time.Second, MaxDelay: time.Millisecond}.normalized()
+	if odd.BaseDelay != time.Second || odd.MaxDelay != time.Millisecond {
+		t.Errorf("explicit BaseDelay > MaxDelay mangled: %+v", odd)
+	}
+}
+
+// TestVersionVectorAttributesInserts pins the engine-side write attribution:
+// an INSERT bumps exactly its table's counter and its text tokens' counters.
+func TestVersionVectorAttributesInserts(t *testing.T) {
+	e := productEngine(t)
+	vv := e.Versions()
+	// Seed-data loading already attributed its own rows; diff against the
+	// loaded state, not zero.
+	itemBefore := vv.Counter(vervec.TableKey("Item"))
+	ptypeBefore := vv.Counter(vervec.TableKey("PType"))
+	lavenderBefore := vv.Counter(vervec.TermKey("lavender"))
+	saffronBefore := vv.Counter(vervec.TermKey("saffron"))
+
+	if _, err := e.Exec("INSERT INTO Item VALUES (5, 'lavender candle', 2, 3, 2, 7.5, 'fresh')"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if got := vv.Counter(vervec.TableKey("Item")); got != itemBefore+1 {
+		t.Errorf("Item counter = %d, want %d", got, itemBefore+1)
+	}
+	if got := vv.Counter(vervec.TableKey("PType")); got != ptypeBefore {
+		t.Errorf("PType counter moved to %d on an Item insert", got)
+	}
+	for _, term := range []string{"lavender", "candle", "fresh"} {
+		if vv.Counter(vervec.TermKey(term)) == 0 {
+			t.Errorf("term %q not attributed", term)
+		}
+	}
+	if got := vv.Counter(vervec.TermKey("lavender")); got != lavenderBefore+1 {
+		t.Errorf("lavender counter = %d, want %d", got, lavenderBefore+1)
+	}
+	if got := vv.Counter(vervec.TermKey("saffron")); got != saffronBefore {
+		t.Errorf("unrelated term 'saffron' moved %d -> %d on the insert", saffronBefore, got)
+	}
+}
+
+// TestDisjointInsertKeepsCompiledPlan is the tentpole's engine-level claim:
+// a write into a table outside a handle's FROM footprint must not flush its
+// compiled plan, while an intersecting write must.
+func TestDisjointInsertKeepsCompiledPlan(t *testing.T) {
+	e := productEngine(t)
+	p := mustPrepare(t, e, "SELECT 1 FROM Item WHERE name CONTAINS 'candle' LIMIT 1")
+	if _, err := p.Exec(nil); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	cold := p.plan.Load()
+	if cold == nil {
+		t.Fatal("no compiled plan after first execution")
+	}
+
+	// Attr is not in the handle's FROM list; the plan must survive.
+	if _, err := e.Exec("INSERT INTO Attr VALUES (5, 'scent', 'pine')"); err != nil {
+		t.Fatalf("Exec(INSERT Attr): %v", err)
+	}
+	if _, err := p.Exec(nil); err != nil {
+		t.Fatalf("Exec after disjoint insert: %v", err)
+	}
+	if p.plan.Load() != cold {
+		t.Error("disjoint insert flushed the compiled plan")
+	}
+
+	if _, err := e.Exec("INSERT INTO Item VALUES (6, 'pine candle', 2, 2, 1, 3.5, 'woody')"); err != nil {
+		t.Fatalf("Exec(INSERT Item): %v", err)
+	}
+	if _, err := p.Exec(nil); err != nil {
+		t.Fatalf("Exec after intersecting insert: %v", err)
+	}
+	if p.plan.Load() == cold {
+		t.Error("intersecting insert did not trigger a replan")
+	}
+}
+
+// TestTermDisjointInsertKeepsCandidateSet pins the conjunction rule: an
+// insert into the candidate set's own table whose tokens miss every term of
+// the predicate leaves the cached set fresh — the new row cannot join it.
+func TestTermDisjointInsertKeepsCandidateSet(t *testing.T) {
+	e := productEngine(t)
+	p := mustPrepare(t, e, "SELECT 1 FROM Item WHERE name CONTAINS 'lavender' LIMIT 1")
+	cands := NewCandidateCache()
+	if _, err := p.Exec(cands); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	_, coldMisses := cands.Stats()
+
+	// Same table, disjoint tokens: the 'lavender' candidate set stays.
+	if _, err := e.Exec("INSERT INTO Item VALUES (7, 'plain soap', 2, 1, 1, 1.5, 'unscented')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+	if _, err := p.Exec(cands); err != nil {
+		t.Fatalf("Exec after term-disjoint insert: %v", err)
+	}
+	if _, misses := cands.Stats(); misses != coldMisses {
+		t.Errorf("term-disjoint insert recomputed the candidate set (misses %d -> %d)", coldMisses, misses)
+	}
+
+	// Intersecting token: the set must be recomputed and see the row.
+	if _, err := e.Exec("INSERT INTO Item VALUES (8, 'lavender soap', 2, 1, 1, 2.5, 'mild')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+	res, err := p.Exec(cands)
+	if err != nil {
+		t.Fatalf("Exec after intersecting insert: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("intersecting insert invisible to the probe: rows = %d", len(res.Rows))
+	}
+	if _, misses := cands.Stats(); misses == coldMisses {
+		t.Error("intersecting insert did not recompute the candidate set")
+	}
+}
+
+// TestEpochInvalidatesEverything: an in-place update is non-monotone, so
+// InvalidateIndex must stale even footprint-disjoint artifacts.
+func TestEpochInvalidatesEverything(t *testing.T) {
+	e := productEngine(t)
+	vv := e.Versions()
+	st := vv.Stamp([]string{vervec.TableKey("Item")})
+	e.InvalidateIndex()
+	if !vv.Stale(st) {
+		t.Error("epoch bump did not stale an existing stamp")
+	}
+}

@@ -35,7 +35,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock/randomness reads and map-iteration-order leaks " +
-		"in the output-affecting packages (core, lattice, report, sqltext, obs)",
+		"in the output-affecting packages (core, lattice, report, sqltext, obs, probecache)",
 	Run: run,
 }
 
@@ -45,12 +45,15 @@ var Analyzer = &analysis.Analyzer{
 // run inside probe loops: a clock read there would both perturb the traces
 // they exist to measure and tempt timing into the flight recorder's events,
 // which must stay a pure function of the run (timing enters an Event only as
-// the oracle's already-measured SQL latency).
+// the oracle's already-measured SQL latency). probecache is scoped because
+// verdict expiry decides probe outcomes: its TTL deadline must come through
+// the clock seam, so tests (and the byte-identity property suite) can pin it.
 var Scope = func(pkgPath string) bool {
 	switch pkgPath {
 	case "kwsdbg/internal/core", "kwsdbg/internal/lattice",
 		"kwsdbg/internal/report", "kwsdbg/internal/sqltext",
-		"kwsdbg/internal/obs", "kwsdbg/internal/obs/flight":
+		"kwsdbg/internal/obs", "kwsdbg/internal/obs/flight",
+		"kwsdbg/internal/probecache":
 		return true
 	}
 	return false

@@ -34,12 +34,13 @@ func TestDefaultScope(t *testing.T) {
 		"kwsdbg/internal/sqltext",
 		"kwsdbg/internal/obs",
 		"kwsdbg/internal/obs/flight",
+		"kwsdbg/internal/probecache",
 	} {
 		if !determinism.Scope(pkg) {
 			t.Errorf("Scope(%q) = false, want true", pkg)
 		}
 	}
-	for _, pkg := range []string{"kwsdbg/internal/bench", "kwsdbg/internal/server", "kwsdbg/internal/probecache"} {
+	for _, pkg := range []string{"kwsdbg/internal/bench", "kwsdbg/internal/server"} {
 		if determinism.Scope(pkg) {
 			t.Errorf("Scope(%q) = true, want false", pkg)
 		}

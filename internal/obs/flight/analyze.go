@@ -33,6 +33,10 @@ type ProbeStat struct {
 	Replans     int
 	Retries     int
 	Verdicts    int
+	// Suspects counts cached dead verdicts a write downgraded; Repairs how
+	// many of this probe's re-executions restored a verdict for one.
+	Suspects int
+	Repairs  int
 	// SQLTime is the summed measured latency of the node's SQLExec events.
 	SQLTime time.Duration
 	// Alive is the last committed verdict; meaningful when Verdicts > 0.
@@ -122,6 +126,10 @@ func Analyze(led *Ledger) *Analysis {
 		case Verdict:
 			ps.Verdicts++
 			ps.Alive = ev.Alive
+		case Suspect:
+			ps.Suspects++
+		case Repair:
+			ps.Repairs++
 		}
 	}
 	return a
@@ -192,7 +200,7 @@ func eventDetail(ev Event) string {
 	if ev.Kind == SQLExec {
 		fmt.Fprintf(&sb, " dur=%v alive=%t", ev.Dur, ev.Alive)
 	}
-	if ev.Kind == Verdict || ev.Kind == ProbeCacheHit {
+	if ev.Kind == Verdict || ev.Kind == ProbeCacheHit || ev.Kind == Repair {
 		fmt.Fprintf(&sb, " alive=%t", ev.Alive)
 	}
 	return sb.String()
@@ -223,6 +231,10 @@ type DiffEntry struct {
 	NewlyMissed    bool
 	NewlyReplanned bool
 	NewlyRetried   bool
+	// NewlyRepaired marks probes whose extra work in B was verdict repair:
+	// a write suspected their cached dead verdict and B re-proved it. Their
+	// SQL time is correctness spend, not a cache regression.
+	NewlyRepaired bool
 }
 
 // Delta is the probe's SQL-time change (B minus A).
@@ -230,7 +242,8 @@ func (e *DiffEntry) Delta() time.Duration { return e.BSQL - e.ASQL }
 
 // changed reports whether the entry is worth listing.
 func (e *DiffEntry) changed() bool {
-	return e.OnlyIn != "" || e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried || e.ASQL != e.BSQL
+	return e.OnlyIn != "" || e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried ||
+		e.NewlyRepaired || e.ASQL != e.BSQL
 }
 
 // DiffResult is the causal comparison of two runs of the same query.
@@ -244,10 +257,15 @@ type DiffResult struct {
 	// missed a cache, replanned, retried, or only exist in B — the answer
 	// to "where did the extra time come from".
 	Explained time.Duration
-	// NewlyMissed / NewlyReplanned / NewlyRetried count the flagged probes.
+	// NewlyMissed / NewlyReplanned / NewlyRetried / NewlyRepaired count the
+	// flagged probes.
 	NewlyMissed    int
 	NewlyReplanned int
 	NewlyRetried   int
+	NewlyRepaired  int
+	// RepairedSQL is the part of Explained spent re-proving suspected
+	// verdicts — expected spend under write churn, not a regression.
+	RepairedSQL time.Duration
 }
 
 // Diff matches the two runs' probes by identity (probe key, falling back to
@@ -277,6 +295,7 @@ func Diff(a, b *Analysis) *DiffResult {
 			e.NewlyMissed = pb.CacheMisses > pa.CacheMisses
 			e.NewlyReplanned = pb.Replans > pa.Replans
 			e.NewlyRetried = pb.Retries > pa.Retries
+			e.NewlyRepaired = pb.Repairs > pa.Repairs
 		}
 		d.add(e)
 	}
@@ -292,6 +311,7 @@ func Diff(a, b *Analysis) *DiffResult {
 			NewlyMissed:    pb.CacheMisses > 0,
 			NewlyReplanned: pb.Replans > 0,
 			NewlyRetried:   pb.Retries > 0,
+			NewlyRepaired:  pb.Repairs > 0,
 		})
 	}
 
@@ -318,7 +338,11 @@ func (d *DiffResult) add(e DiffEntry) {
 	if e.NewlyRetried {
 		d.NewlyRetried++
 	}
-	if e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried || e.OnlyIn == "b" {
+	if e.NewlyRepaired {
+		d.NewlyRepaired++
+		d.RepairedSQL += e.Delta()
+	}
+	if e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried || e.NewlyRepaired || e.OnlyIn == "b" {
 		d.Explained += e.Delta()
 	}
 	d.Entries = append(d.Entries, e)
@@ -352,6 +376,10 @@ func (d *DiffResult) RenderDiff(w io.Writer, aLabel, bLabel string, top int) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "newly missed cache: %d probes; newly replanned: %d; newly retried: %d\n",
 		d.NewlyMissed, d.NewlyReplanned, d.NewlyRetried)
+	if d.NewlyRepaired > 0 {
+		fmt.Fprintf(w, "verdict repairs: %d probes re-proved after writes suspected their cached verdicts (%v of the delta is repair spend, not regression)\n",
+			d.NewlyRepaired, signedDur(d.RepairedSQL))
+	}
 	n := 0
 	for i := range d.Entries {
 		e := &d.Entries[i]
@@ -369,6 +397,9 @@ func (d *DiffResult) RenderDiff(w io.Writer, aLabel, bLabel string, top int) {
 		}
 		if e.NewlyRetried {
 			flags = append(flags, "newly-retried")
+		}
+		if e.NewlyRepaired {
+			flags = append(flags, "repaired")
 		}
 		if e.OnlyIn != "" {
 			flags = append(flags, "only-in-"+e.OnlyIn)

@@ -72,6 +72,14 @@ const (
 	// Exhausted: the governor tripped; Cause is "probe_budget" or
 	// "deadline".
 	Exhausted
+	// Suspect: a cached dead verdict was downgraded to suspect because a
+	// write intersected its table footprint; the probe re-executes instead
+	// of trusting the verdict. Cause is the miss class ("suspect").
+	Suspect
+	// Repair: a suspect verdict was re-proved by a fresh probe and its
+	// repaired classification stored back; Alive carries the new verdict
+	// and Cause is "confirmed" (still dead) or "flipped" (now alive).
+	Repair
 
 	numKinds
 )
@@ -91,6 +99,8 @@ var kindNames = [numKinds]string{
 	Verdict:        "verdict",
 	Shed:           "shed",
 	Exhausted:      "exhausted",
+	Suspect:        "suspect",
+	Repair:         "repair",
 }
 
 // String returns the stable wire name of the kind (used in ledgers, the

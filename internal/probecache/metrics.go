@@ -18,4 +18,8 @@ var (
 	mEvictionsStale    = mEvictionsVec.With("stale")
 	mEntries           = obs.Default.Gauge("kwsdbg_probecache_entries",
 		"Verdicts currently held by the cache.")
+	mSuspects = obs.Default.Counter("kwsdbg_probecache_suspects_total",
+		"Dead verdicts downgraded to suspect because a write touched a footprint table (repair candidates, not evictions).")
+	mRepairs = obs.Default.Counter("kwsdbg_probecache_repairs_total",
+		"Suspect verdicts re-proved by a fresh probe and restored to the cache.")
 )

@@ -111,24 +111,24 @@ func TestTTLExpiry(t *testing.T) {
 	}
 }
 
-// TestTTLBoundary pins the exact expiry semantics: an entry touched exactly
-// at its deadline still hits (expiry is strictly-after), one nanosecond
-// later it is a stale-eviction miss — and the eviction is counted as stale,
-// not capacity.
+// TestTTLBoundary pins the exact expiry semantics: the TTL promises "served
+// strictly before expires", so an entry touched exactly at its deadline
+// (expires == now) is already expired — a stale-eviction miss, counted as
+// stale, not capacity. One nanosecond before the deadline it still hits.
 func TestTTLBoundary(t *testing.T) {
 	c := New(Config{TTL: time.Minute})
 	now := time.Unix(1000, 0)
 	c.now = func() time.Time { return now }
 	c.Put("a", true)
 
-	now = now.Add(time.Minute) // exactly the deadline
+	now = now.Add(time.Minute - time.Nanosecond) // one before the deadline
 	if _, ok := c.Get("a"); !ok {
-		t.Fatal("entry expiring exactly at the deadline must still hit")
+		t.Fatal("entry must hit strictly before its deadline")
 	}
 
-	now = now.Add(time.Nanosecond) // one past
+	now = now.Add(time.Nanosecond) // exactly the deadline
 	if _, ok := c.Get("a"); ok {
-		t.Fatal("entry must be expired one nanosecond past the deadline")
+		t.Fatal("entry stored at expires == now must miss")
 	}
 	st := c.Snapshot()
 	if st.EvictionsStale != 1 || st.EvictionsCapacity != 0 {
@@ -136,6 +136,30 @@ func TestTTLBoundary(t *testing.T) {
 	}
 	if st.Evictions != st.EvictionsStale+st.EvictionsCapacity {
 		t.Fatalf("Evictions %d is not the sum of its parts in %+v", st.Evictions, st)
+	}
+}
+
+// TestGenerationWraparound pins that generation comparison is by equality,
+// not order: a generation that wraps uint64 back to a previously-used value
+// still invalidates entries stamped under the pre-wrap value, and entries
+// can be stored and hit at the wrapped generation.
+func TestGenerationWraparound(t *testing.T) {
+	c := New(Config{})
+	c.SyncGeneration(^uint64(0)) // max uint64
+	c.Put("a", true)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry at max generation must hit")
+	}
+	c.Bump() // wraps to 0
+	if g := c.Generation(); g != 0 {
+		t.Fatalf("Generation after wrap = %d; want 0", g)
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("pre-wrap entry must miss after the generation wrapped")
+	}
+	c.Put("b", false)
+	if alive, ok := c.Get("b"); !ok || alive {
+		t.Fatal("entry stored at the wrapped generation must hit")
 	}
 }
 

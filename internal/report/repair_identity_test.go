@@ -1,0 +1,95 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/figure2"
+	"kwsdbg/internal/lattice"
+	"kwsdbg/internal/probecache"
+)
+
+// renderable strips the fields that legitimately differ between a cold run
+// and a warm repaired run of the same data: wall times and cache accounting.
+// Everything else — the classifications, the MPAN frontiers, the probe count
+// SQLExecuted — is covered by the determinism contract and must survive
+// rendering byte-for-byte.
+func renderable(out *core.Output) *core.Output {
+	n := *out
+	n.Stats.MapTime = 0
+	n.Stats.PruneTime = 0
+	n.Stats.MTNTime = 0
+	n.Stats.SQLTime = 0
+	n.Stats.TraverseTime = 0
+	n.Stats.CacheHits = 0
+	n.Stats.PlanCompiles = 0
+	n.Stats.CandSetHits = 0
+	n.Stats.CandSetMisses = 0
+	n.Stats.Suspects = 0
+	n.Stats.Repaired = 0
+	return &n
+}
+
+// TestRepairedRunRendersIdenticalReport is the acceptance property of the
+// version-vector fix at the outermost layer: after an INSERT lands between
+// runs, the warm run — answering from repaired and still-fresh cached
+// verdicts — must render the exact same bytes as a cold run of the changed
+// data, in both the text and the JSON form, at every worker count.
+func TestRepairedRunRendersIdenticalReport(t *testing.T) {
+	eng, err := figure2.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.Build(eng, lattice.Options{MaxJoins: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+	if _, err := sys.Debug(kws, core.Options{Strategy: core.SBH}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	if _, err := eng.Exec(
+		"INSERT INTO Item VALUES (5, 'saffron scented candle', 2, 4, 4, 9.5, 'new stock')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+
+	render := func(out *core.Output) (text, js []byte) {
+		t.Helper()
+		n := renderable(out)
+		var tb, jb bytes.Buffer
+		if err := Text(&tb, n, Options{ShowSQL: true}); err != nil {
+			t.Fatal(err)
+		}
+		if err := JSON(&jb, n, true); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), jb.Bytes()
+	}
+
+	cold, err := sys.Debug(kws, core.Options{Strategy: core.SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	coldText, coldJSON := render(cold)
+	if !bytes.Contains(coldText, []byte("ALIVE")) {
+		t.Fatalf("cold report shows no alive query after the insert:\n%s", coldText)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		warm, err := sys.Debug(kws, core.Options{Strategy: core.SBH, Workers: workers})
+		if err != nil {
+			t.Fatalf("warm run workers=%d: %v", workers, err)
+		}
+		warmText, warmJSON := render(warm)
+		if !bytes.Equal(warmText, coldText) {
+			t.Errorf("workers=%d: text report diverges from cold run\nwarm:\n%s\ncold:\n%s",
+				workers, warmText, coldText)
+		}
+		if !bytes.Equal(warmJSON, coldJSON) {
+			t.Errorf("workers=%d: JSON report diverges from cold run\nwarm:\n%s\ncold:\n%s",
+				workers, warmJSON, coldJSON)
+		}
+	}
+}

@@ -5,12 +5,13 @@
 //
 // Endpoints:
 //
-//	GET /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200][&probe_path=prepared|text][&ledger=1]
-//	GET /debug/runs
-//	GET /debug/flight[?req=000042]
-//	GET /search?q=red+candle[&k=10]
-//	GET /metrics
-//	GET /healthz
+//	GET  /debug?q=saffron+scented+candle[&strategy=SBH][&sql=1][&trace=1][&workers=4][&cache=0][&deadline_ms=500][&budget=200][&probe_path=prepared|text][&ledger=1]
+//	GET  /debug/runs
+//	GET  /debug/flight[?req=000042]
+//	GET  /search?q=red+candle[&k=10]
+//	POST /write          {"sql": "INSERT INTO ..."}
+//	GET  /metrics
+//	GET  /healthz
 //
 // All responses are JSON except /metrics (Prometheus text exposition);
 // errors use {"error": "..."} with a 4xx/5xx status. With trace=1 the /debug
@@ -26,6 +27,13 @@
 // With ledger=1 (requires Server.LedgerDir) the run's complete event stream
 // plus its summary are written as a JSONL ledger for offline analysis with
 // cmd/kwstrace; the response carries the file in an X-Kwsdbg-Ledger header.
+//
+// Writes: POST /write executes one INSERT against the live engine. The
+// engine attributes the write to its per-table/per-term version vector, so
+// only cached artifacts whose footprints intersect the touched table go
+// suspect; everything else keeps serving. The response reports the rows
+// inserted, the new data version, and the probe cache's suspect/repair
+// counters so a churn workload can watch invalidation stay proportional.
 //
 // Resource governance: /debug and /search pass through an admission
 // semaphore (Server.MaxInflight) and are shed with 429 + Retry-After when
@@ -65,6 +73,12 @@ var (
 		"HTTP request latency by endpoint.", nil, "path")
 	mHTTPInFlight = obs.Default.Gauge("kwsdbg_http_in_flight",
 		"Requests currently being served.")
+	mWrites = obs.Default.Counter("kwsdbg_writes_total",
+		"INSERT statements applied through POST /write.")
+	mWriteRows = obs.Default.Counter("kwsdbg_write_rows_total",
+		"Rows inserted through POST /write.")
+	mWriteErrors = obs.Default.Counter("kwsdbg_write_errors_total",
+		"POST /write requests rejected (parse error, unknown table, bad value).")
 )
 
 // nextRequestID numbers requests process-wide for log correlation.
@@ -113,6 +127,7 @@ func New(sys *core.System) *Server {
 	s.mux.HandleFunc("/debug/runs", s.handleRuns)
 	s.mux.HandleFunc("/debug/flight", s.handleFlight)
 	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/write", s.handleWrite)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", obs.Default.Handler())
 	return s
@@ -146,7 +161,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // metricPath collapses unknown paths so the path label stays low-cardinality.
 func metricPath(p string) string {
 	switch p {
-	case "/debug", "/debug/runs", "/debug/flight", "/search", "/healthz", "/metrics":
+	case "/debug", "/debug/runs", "/debug/flight", "/search", "/write", "/healthz", "/metrics":
 		return p
 	default:
 		return "other"
@@ -512,6 +527,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// writeRequest is the POST /write body.
+type writeRequest struct {
+	SQL string `json:"sql"`
+}
+
+// handleWrite applies one INSERT to the live engine. The engine's version
+// vector attributes the write to its table and tokens before the rows become
+// visible, so a debug run racing this request either sees the rows or sees
+// the intersecting cache entries go suspect — never a stale hit.
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("write requires POST"))
+		return
+	}
+	var req writeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		mWriteErrors.Inc()
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad write body: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		mWriteErrors.Inc()
+		s.writeError(w, r, http.StatusBadRequest, fmt.Errorf("missing sql field"))
+		return
+	}
+	rows, err := s.sys.Engine().Exec(req.SQL)
+	if err != nil {
+		mWriteErrors.Inc()
+		s.writeError(w, r, http.StatusUnprocessableEntity, err)
+		return
+	}
+	mWrites.Inc()
+	mWriteRows.Add(float64(rows))
+	body := map[string]any{
+		"rows_inserted": rows,
+		"data_version":  s.sys.Engine().DataVersion(),
+	}
+	if c := s.sys.ProbeCache(); c != nil {
+		st := c.Snapshot()
+		body["probe_cache"] = map[string]any{
+			"entries":  st.Entries,
+			"suspects": st.Suspects,
+			"repairs":  st.Repairs,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{
 		"status":        "ok",
@@ -529,6 +593,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"evictions_capacity": st.EvictionsCapacity,
 			"evictions_stale":    st.EvictionsStale,
 			"generation":         st.Generation,
+			"suspects":           st.Suspects,
+			"repairs":            st.Repairs,
 		}
 	}
 	// Both plan caches: the debugger's probe-handle cache and the engine's

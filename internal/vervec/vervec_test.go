@@ -1,0 +1,106 @@
+package vervec
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStampFreshUntilFootprintMoves(t *testing.T) {
+	v := New()
+	fp := []string{TableKey("Item"), TermKey("lilac")}
+	st := v.Stamp(fp)
+	if v.Stale(st) {
+		t.Fatal("fresh stamp reported stale")
+	}
+
+	// A write disjoint from the footprint must not stale it.
+	v.Bump(TableKey("Person"), TermKey("widom"))
+	if v.Stale(st) {
+		t.Fatal("disjoint bump staled the stamp")
+	}
+
+	// A write intersecting any footprint name must.
+	v.Bump(TermKey("lilac"))
+	if !v.Stale(st) {
+		t.Fatal("intersecting bump did not stale the stamp")
+	}
+}
+
+func TestEpochStalesEverything(t *testing.T) {
+	v := New()
+	st := v.Stamp([]string{TableKey("Item")})
+	v.BumpEpoch()
+	if !v.Stale(st) {
+		t.Fatal("epoch bump did not stale the stamp")
+	}
+	if !v.EpochChanged(st.Epoch) {
+		t.Fatal("EpochChanged missed the bump")
+	}
+}
+
+func TestBumpIsAtomicAcrossNames(t *testing.T) {
+	// One Bump call's names move together: a concurrent stamp never sees
+	// the table advanced without its terms (the candidate-set staleness
+	// rule is a conjunction and relies on this).
+	v := New()
+	names := []string{TableKey("Item"), TermKey("a"), TermKey("b")}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			v.Bump(names...)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		st := v.Stamp(names)
+		if st.Vals[0] != st.Vals[1] || st.Vals[1] != st.Vals[2] {
+			t.Fatalf("torn stamp: %v", st.Vals)
+		}
+	}
+	<-done
+}
+
+func TestViewSnapshotIsImmutable(t *testing.T) {
+	v := New()
+	v.Bump(TableKey("Item"))
+	vw := v.Snapshot()
+	if got := vw.Counter(TableKey("Item")); got != 1 {
+		t.Fatalf("view counter = %d, want 1", got)
+	}
+	v.Bump(TableKey("Item"))
+	if got := vw.Counter(TableKey("Item")); got != 1 {
+		t.Fatalf("view moved with the vector: %d", got)
+	}
+	if vw.Seq == v.Seq() {
+		t.Fatal("Seq did not advance past the snapshot")
+	}
+	var nilView *View
+	if nilView.Counter(TableKey("Item")) != 0 {
+		t.Fatal("nil view must read zero")
+	}
+}
+
+func TestConcurrentBumpAndStale(t *testing.T) {
+	v := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := TableKey(fmt.Sprintf("T%d", g))
+			for i := 0; i < 500; i++ {
+				st := v.Stamp([]string{name})
+				v.Bump(name)
+				if !v.Stale(st) {
+					t.Error("own bump did not stale own stamp")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v.Seq() != 8*500 {
+		t.Fatalf("seq = %d, want %d", v.Seq(), 8*500)
+	}
+}

@@ -34,12 +34,13 @@ lint:
 test:
 	$(GO) test ./...
 
-# The observability layer, the server middleware, the core pipeline, the
-# engine (including the plan cache under concurrent Prepare/Select/Insert),
-# the probe cache, and storage (serialized writers against snapshot readers)
-# are the concurrency-sensitive packages; run them under the race detector.
+# The observability layer, the server middleware, the core pipeline (with
+# its bitset probe engine), the engine (including the plan cache under
+# concurrent Prepare/Select/Insert), the probe cache, storage (serialized
+# writers against snapshot readers), and the bitmap containers are the
+# concurrency-sensitive packages; run them under the race detector.
 race:
-	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/engine ./internal/probecache ./internal/storage
+	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/core/bitprobe ./internal/bitset ./internal/engine ./internal/probecache ./internal/storage
 
 verify: build vet lint test race
 
@@ -56,10 +57,11 @@ chaos:
 # Concurrent INSERT storms against in-flight warm debug runs, under the race
 # detector: writers serialize in storage, readers see consistent prefixes,
 # and at quiesce the repaired warm output must be byte-identical to a cold
-# run at every worker count. Repeated because the interleavings that matter
-# are scheduling-dependent.
+# run at every worker count — on the prepared path and on the bitset path
+# (suspect -> re-probe -> repair through bitmap semi-joins). Repeated because
+# the interleavings that matter are scheduling-dependent.
 chaos-writes:
-	$(GO) test -race -count=3 -run 'ChaosWriteStorm|RepairAcrossWorkerCounts' ./internal/core
+	$(GO) test -race -count=3 -run 'ChaosWriteStorm|ChaosBitsetWriteStorm|RepairAcrossWorkerCounts' ./internal/core
 
 # Probe scheduler + cache sweep, the budget degradation curve, the
 # prepared-plan comparison, and the flight-recorder overhead check: renders
@@ -71,16 +73,23 @@ chaos-writes:
 # columns are comparable across hosts; every report records both the
 # requested and effective value.
 #
+# The bitset step compares the bitmap semi-join probe engine against the
+# warm prepared pipeline (BENCH_bitset.json): ns per executed probe cold and
+# warm, the bitset hit rate, and the warm speedup — >= 10x on the level-3
+# DBLife sweep, with speedup_trusted flagging worker counts the host can
+# actually run in parallel.
+#
 # The second invocation runs the write-churn sweep (BENCH_writes.json) at
 # -maxlevel 5 — the level-5 lattice is where Q3 actually probes — showing a
 # disjoint-table write invalidates 0 probe-cache entries and a warm repaired
 # run beats a cold run by >= 2x fewer SQL probes.
 BENCH_GOMAXPROCS ?= 4
 bench:
-	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan,flight \
+	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3 -only probe,degrade,plan,bitset,flight \
 		-gomaxprocs $(BENCH_GOMAXPROCS) \
 		-probe-json BENCH_probe.json -degrade-json BENCH_degrade.json \
-		-plan-json BENCH_plan.json -flight-json BENCH_flight.json
+		-plan-json BENCH_plan.json -bitset-json BENCH_bitset.json \
+		-flight-json BENCH_flight.json
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 5 -only writes \
 		-gomaxprocs $(BENCH_GOMAXPROCS) \
 		-writes-json BENCH_writes.json

@@ -7,13 +7,13 @@ import (
 
 func TestRunAllExperimentsSmall(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 3, "", "", "", "", "", "", "", 0, false); err != nil {
+	if err := run(&sb, 0.01, 1, 3, "", "", "", "", "", "", "", "", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
 	for _, want := range []string{
 		"tab2", "fig9a", "fig9b", "phase12", "fig10", "fig11", "fig12",
-		"tab3", "tab4", "fig13", "fig14", "probe", "degrade", "plan", "flight", "ablation-pa", "ablation-copies",
+		"tab3", "tab4", "fig13", "fig14", "probe", "degrade", "plan", "bitset", "flight", "ablation-pa", "ablation-copies",
 	} {
 		if !strings.Contains(out, "== "+want) {
 			t.Errorf("output missing experiment %s", want)
@@ -26,7 +26,7 @@ func TestRunAllExperimentsSmall(t *testing.T) {
 
 func TestRunOnlySelection(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 3, "tab2, fig13", "", "", "", "", "", "", 0, false); err != nil {
+	if err := run(&sb, 0.01, 1, 3, "tab2, fig13", "", "", "", "", "", "", "", 0, false); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := sb.String()
@@ -40,7 +40,7 @@ func TestRunOnlySelection(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, 0.01, 1, 2, "", "", "", "", "", "", "", 0, false); err == nil {
+	if err := run(&sb, 0.01, 1, 2, "", "", "", "", "", "", "", "", 0, false); err == nil {
 		t.Error("maxlevel 2 accepted")
 	}
 }

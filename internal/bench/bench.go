@@ -65,6 +65,24 @@ type Parallelism struct {
 	Warning string `json:"warning,omitempty"`
 }
 
+// NoteWorkers extends the warning when a sweep's worker grid exceeds the
+// host's logical cores: workers the host cannot run in parallel only
+// timeslice, so the speedup columns at those counts measure scheduler
+// overhead, not parallelism. The num_cpu==1 warning from CurrentParallelism
+// already covers the degenerate case and is kept as the stronger statement.
+func (p *Parallelism) NoteWorkers(maxWorkers int) {
+	if p.Warning != "" || maxWorkers <= p.NumCPU {
+		return
+	}
+	p.Warning = fmt.Sprintf("num_cpu == %d < max workers %d: speedup columns beyond %d workers reflect timeslicing, not parallelism",
+		p.NumCPU, maxWorkers, p.NumCPU)
+}
+
+// TrustSpeedups reports whether a speedup measured at the given worker count
+// is meaningful on this host — consumers (tests asserting speedup floors,
+// report readers) must skip speedup assertions where this is false.
+func (p Parallelism) TrustSpeedups(workers int) bool { return workers <= p.NumCPU }
+
 // CurrentParallelism snapshots the runtime, recording the requested value
 // alongside what actually took effect.
 func CurrentParallelism(requested int) Parallelism {
@@ -169,6 +187,17 @@ func (e *Env) obtainLattice(maxJoins int) (*lattice.Lattice, error) {
 }
 
 func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// maxOf returns the largest element of a non-empty worker grid.
+func maxOf(ws []int) int {
+	m := ws[0]
+	for _, w := range ws[1:] {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
 
 // MetricsTable snapshots the process-wide obs registry as a rendered table.
 // The experiment harness prints it last, so the probe counts accumulated in

@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"kwsdbg/internal/core"
+	"kwsdbg/internal/dblife"
+)
+
+// BitsetPoint is one worker count's bitset-path versus prepared-path probe
+// cost over the workload. Costs are probe-servicing nanoseconds per executed
+// probe — the oracle's SQLTime, which times handle+execute on the prepared
+// path and the bitmap semi-join on the bitset path — so the comparison
+// isolates probe evaluation from the phases and scheduler overhead both
+// paths share.
+type BitsetPoint struct {
+	Workers int `json:"workers"`
+	// Prepared path at steady state: compiled handles through the
+	// probe-handle cache, the baseline the bitset engine is measured
+	// against. Warm figures are the fastest of `rounds` passes.
+	PreparedWarmNsPerProbe float64 `json:"prepared_warm_ns_per_probe"`
+	// Bitset path: cold pays plan compilation and candidate-bitmap builds
+	// (one inverted-index union per bound vertex); warm reuses plans,
+	// bitmaps, and verdict memos and touches no SQL machinery at all.
+	BitsetColdNsPerProbe float64 `json:"bitset_cold_ns_per_probe"`
+	BitsetWarmNsPerProbe float64 `json:"bitset_warm_ns_per_probe"`
+	// WarmSpeedup is PreparedWarmNsPerProbe / BitsetWarmNsPerProbe — the
+	// headline number: how much faster a steady-state probe is once SQL
+	// leaves the hot path entirely.
+	WarmSpeedup float64 `json:"warm_speedup"`
+	// ProbesPerOp is probes per Debug call; identical on both paths by the
+	// equivalence property (the sweep fails if they ever diverge).
+	ProbesPerOp float64 `json:"probes_per_op"`
+	// BitsetHitRate is the fraction of executed probes the bitmap engine
+	// answered itself rather than falling back to prepared SQL, measured on
+	// the warm bitset passes.
+	BitsetHitRate float64 `json:"bitset_hit_rate"`
+	// SpeedupTrusted mirrors Parallelism.TrustSpeedups for this worker
+	// count: false when the host cannot actually run this many workers in
+	// parallel, in which case the speedup column must not be asserted on.
+	SpeedupTrusted bool `json:"speedup_trusted"`
+}
+
+// BitsetReport is the machine-readable artifact behind BENCH_bitset.json.
+type BitsetReport struct {
+	Level           int    `json:"level"`
+	Strategy        string `json:"strategy"`
+	Rounds          int    `json:"rounds"`
+	QueriesPerRound int    `json:"queries_per_round"`
+	Parallelism
+	Points []BitsetPoint `json:"points"`
+}
+
+// BitsetSweep compares the bitset probe engine against the warm prepared
+// pipeline across worker counts. The verdict cache is bypassed throughout —
+// every probe must actually execute, or the comparison would measure cache
+// lookups. The prepared baseline is measured warm only (its cold behaviour
+// is PlanSweep's subject); the bitset path is measured cold (plan, bitmap,
+// and memo caches purged) and warm. RE is the probing strategy for the same
+// reason the other probe sweeps use it: the largest independent batches, the
+// most probes per op.
+func BitsetSweep(env *Env, level int, workers []int, rounds int) (*Table, *BitsetReport, error) {
+	sys, err := env.System(level)
+	if err != nil {
+		return nil, nil, err
+	}
+	queries := dblife.Workload()
+	rep := &BitsetReport{
+		Level:           level,
+		Strategy:        core.RE.String(),
+		Rounds:          rounds,
+		QueriesPerRound: len(queries),
+		Parallelism:     CurrentParallelism(env.Procs),
+	}
+	rep.NoteWorkers(maxOf(workers))
+
+	// One pass over the workload on one path; returns mean ns per executed
+	// probe, probes per op, and the fraction of probes the bitmap engine
+	// served itself (always 0 on the prepared path).
+	pass := func(w int, bitset bool, passes int) (nsPerProbe, probesPerOp, hitRate float64, err error) {
+		var ops, probes, hits int
+		var probeNanos time.Duration
+		for p := 0; p < passes; p++ {
+			for _, q := range queries {
+				out, err := sys.Debug(q.Keywords, core.Options{
+					Strategy: core.RE, Workers: w, BypassCache: true, BitsetProbes: bitset,
+				})
+				if err != nil {
+					return 0, 0, 0, fmt.Errorf("bench: bitset sweep %s workers=%d: %w", q.ID, w, err)
+				}
+				ops++
+				probes += out.Stats.SQLExecuted
+				probeNanos += out.Stats.SQLTime
+				hits += out.Stats.BitsetHits
+			}
+		}
+		if probes == 0 {
+			return 0, 0, 0, fmt.Errorf("bench: bitset sweep executed no probes")
+		}
+		return float64(probeNanos.Nanoseconds()) / float64(probes),
+			float64(probes) / float64(ops), float64(hits) / float64(probes), nil
+	}
+
+	// warm keeps the fastest of `rounds` passes against populated caches:
+	// the minimum is the standard low-variance estimator for a fixed
+	// workload — any GC pause or scheduler burst can only slow a round
+	// down, never speed it up.
+	warm := func(w int, bitset bool) (nsPerProbe, probesPerOp, hitRate float64, err error) {
+		best := math.Inf(1)
+		for i := 0; i < rounds; i++ {
+			ns, ppo, hr, err := pass(w, bitset, 1)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			if ns < best {
+				best = ns
+			}
+			probesPerOp, hitRate = ppo, hr
+		}
+		return best, probesPerOp, hitRate, nil
+	}
+
+	// Untimed warmup: the inverted index builds lazily on the first Debug,
+	// and its cost must not land in the first measured pass.
+	if _, _, _, err := pass(workers[0], false, 1); err != nil {
+		return nil, nil, err
+	}
+
+	for _, w := range workers {
+		pt := BitsetPoint{Workers: w, SpeedupTrusted: rep.TrustSpeedups(w)}
+		var prepProbes, bitProbes float64
+
+		pt.PreparedWarmNsPerProbe, prepProbes, _, err = warm(w, false)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		sys.PurgePlanCaches()
+		sys.PurgeBitsetCaches()
+		pt.BitsetColdNsPerProbe, _, _, err = pass(w, true, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt.BitsetWarmNsPerProbe, bitProbes, pt.BitsetHitRate, err = warm(w, true)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		// The equivalence property, enforced where it is cheapest to check:
+		// both paths must spend exactly the same probes on the same workload.
+		if prepProbes != bitProbes {
+			return nil, nil, fmt.Errorf("bench: probe counts diverged between paths at workers=%d: prepared %.1f, bitset %.1f",
+				w, prepProbes, bitProbes)
+		}
+		pt.ProbesPerOp = bitProbes
+		if pt.BitsetWarmNsPerProbe > 0 {
+			pt.WarmSpeedup = pt.PreparedWarmNsPerProbe / pt.BitsetWarmNsPerProbe
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	t := &Table{
+		ID:    "bitset",
+		Title: fmt.Sprintf("bitset probe engine at level %d (%s, %d rounds x %d queries)", level, rep.Strategy, rounds, len(queries)),
+		Columns: []string{"workers", "prep_warm", "bitset_cold", "bitset_warm",
+			"warm_speedup", "bitset_hit_rate", "trusted"},
+		Notes: fmt.Sprintf("probe-servicing ns per executed probe, verdict cache bypassed; cold = bitset plan/bitmap/memo caches purged, warm = steady state; speedup = prepared_warm / bitset_warm; GOMAXPROCS=%d NumCPU=%d",
+			rep.GOMAXPROCS, rep.NumCPU),
+	}
+	for _, p := range rep.Points {
+		t.Rows = append(t.Rows, []string{
+			itoa(p.Workers),
+			fmt.Sprintf("%.0f", p.PreparedWarmNsPerProbe),
+			fmt.Sprintf("%.0f", p.BitsetColdNsPerProbe),
+			fmt.Sprintf("%.0f", p.BitsetWarmNsPerProbe),
+			fmt.Sprintf("%.2fx", p.WarmSpeedup),
+			fmt.Sprintf("%.1f%%", 100*p.BitsetHitRate),
+			fmt.Sprintf("%t", p.SpeedupTrusted),
+		})
+	}
+	return t, rep, nil
+}

@@ -1,0 +1,61 @@
+package bench
+
+import "testing"
+
+func TestBitsetSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	env := testEnv(t)
+	tab, rep, err := BitsetSweep(env, 3, []int{1, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, 2)
+	for _, p := range rep.Points {
+		if p.ProbesPerOp <= 0 {
+			t.Fatalf("workers=%d: probes_per_op = %v", p.Workers, p.ProbesPerOp)
+		}
+		if p.BitsetHitRate != 1 {
+			t.Errorf("workers=%d: bitset hit rate %.2f, want 1.0 (DBLife probe shapes are all coverable)",
+				p.Workers, p.BitsetHitRate)
+		}
+		if !p.SpeedupTrusted {
+			continue // host cannot run this many workers; speedup is noise
+		}
+		// The acceptance floor is 10x on the committed BENCH_bitset.json run;
+		// the in-test floor is looser to absorb CI timing variance while
+		// still catching a bitset path that quietly fell back to SQL.
+		if p.WarmSpeedup < 3 {
+			t.Errorf("workers=%d: warm speedup %.2fx, want >= 3x over the warm prepared path",
+				p.Workers, p.WarmSpeedup)
+		}
+	}
+	// workers=1 is trusted on every host — the floor above must have run at
+	// least once.
+	if !rep.Points[0].SpeedupTrusted {
+		t.Error("workers=1 point not trusted; TrustSpeedups broken")
+	}
+}
+
+func TestParallelismNotes(t *testing.T) {
+	p := Parallelism{NumCPU: 2}
+	if !p.TrustSpeedups(1) || !p.TrustSpeedups(2) || p.TrustSpeedups(4) {
+		t.Errorf("TrustSpeedups on 2 cores: got %t/%t/%t for 1/2/4 workers",
+			p.TrustSpeedups(1), p.TrustSpeedups(2), p.TrustSpeedups(4))
+	}
+	p.NoteWorkers(2)
+	if p.Warning != "" {
+		t.Errorf("NoteWorkers(2) on 2 cores set a warning: %q", p.Warning)
+	}
+	p.NoteWorkers(8)
+	if p.Warning == "" {
+		t.Error("NoteWorkers(8) on 2 cores left no warning")
+	}
+	// The stronger num_cpu==1 warning is never overwritten.
+	single := Parallelism{NumCPU: 1, Warning: "num_cpu == 1"}
+	single.NoteWorkers(8)
+	if single.Warning != "num_cpu == 1" {
+		t.Errorf("NoteWorkers overwrote the num_cpu==1 warning: %q", single.Warning)
+	}
+}

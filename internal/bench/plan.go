@@ -71,6 +71,7 @@ func PlanSweep(env *Env, level int, workers []int, rounds int) (*Table, *PlanRep
 		QueriesPerRound: len(queries),
 		Parallelism:     CurrentParallelism(env.Procs),
 	}
+	rep.NoteWorkers(maxOf(workers))
 
 	// One pass over the workload on one path; returns mean ns per executed
 	// probe, probes per op, and the candidate-set hit rate.

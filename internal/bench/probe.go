@@ -58,6 +58,7 @@ func ProbeSweep(env *Env, level int, workers []int, rounds int) (*Table, *ProbeR
 		QueriesPerRound: len(queries),
 		Parallelism:     CurrentParallelism(env.Procs),
 	}
+	rep.NoteWorkers(maxOf(workers))
 
 	sweep := func(w int, bypass bool) (nsPerOp, probesPerOp, hitRate float64, err error) {
 		var ops, probes, hits int

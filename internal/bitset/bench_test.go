@@ -1,0 +1,42 @@
+package bitset
+
+import "testing"
+
+// BenchmarkBitsetOps times the container operations the probe evaluator
+// leans on: intersections across the array/bitmap representation boundary
+// and membership probes — the inner loop of a semi-join reduction.
+func BenchmarkBitsetOps(b *testing.B) {
+	sparse := make([]uint32, 0, 1024)
+	for i := uint32(0); i < 1024; i++ {
+		sparse = append(sparse, i*61) // stays in array containers
+	}
+	dense := make([]uint32, 0, 20000)
+	for i := uint32(0); i < 20000; i++ {
+		dense = append(dense, i*3) // promotes to bitmap containers
+	}
+	sp, de := FromSorted(sparse), FromSorted(dense)
+	b.Run("and-sparse-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp.And(de).Release()
+		}
+	})
+	b.Run("or-sparse-dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sp.Or(de).Release()
+		}
+	})
+	b.Run("contains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			de.Contains(uint32(i) % 60000)
+		}
+	})
+	b.Run("iterate-sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			sp.Iterate(func(uint32) bool { n++; return true })
+			if n != sp.Cardinality() {
+				b.Fatal("iterate miscounted")
+			}
+		}
+	})
+}

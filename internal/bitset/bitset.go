@@ -1,0 +1,567 @@
+// Package bitset implements roaring-style compressed bitmaps over uint32
+// row IDs: the value space is chunked into 64Ki blocks keyed by the high 16
+// bits, and each chunk is stored in whichever container representation is
+// smallest — a sorted uint16 array (sparse), a 1024-word bitmap (dense), or
+// run-length-encoded ranges (clustered). Containers promote from array to
+// bitmap when an insertion would push them past ArrayMaxCard values and
+// demote back when an intersection shrinks them to ArrayMaxCard or fewer,
+// matching the classic roaring thresholds.
+//
+// The package is the set-algebra substrate of the bitset probe path
+// (internal/core/bitprobe): candidate row sets and semi-join reductions are
+// bitmaps here instead of tuple streams in the SQL engine. It is pure data
+// structure — no clocks, no maps, no dependencies beyond the stdlib — so it
+// sits inside the determinism lint scope, and the dense-container word
+// arrays plus the array-container backing slices are pooled so the probe
+// hot path allocates nothing in steady state.
+//
+// Bitmaps are not safe for concurrent mutation; a built bitmap is safe for
+// concurrent readers. Release returns pooled storage and must only be called
+// on bitmaps no reader can still observe.
+package bitset
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// ArrayMaxCard is the array/bitmap boundary: an array container holds at
+// most this many values, and an intersection result at or below it is
+// demoted back to an array.
+const ArrayMaxCard = 4096
+
+// wordCount is the 64-bit word count of a dense container (65536 bits).
+const wordCount = 1024
+
+// Container representations.
+const (
+	typeArray uint8 = iota
+	typeBitmap
+	typeRun
+)
+
+// runPair is one RLE range, inclusive on both ends.
+type runPair struct{ start, last uint16 }
+
+// container is one 64Ki chunk in whichever representation it currently uses.
+type container struct {
+	typ uint8
+	n   int32 // cardinality
+	arr []uint16
+	bm  *[wordCount]uint64
+	rns []runPair
+}
+
+// Bitmap is a compressed set of uint32 values. keys holds the high-16-bit
+// chunk keys in ascending order; cs[i] is the container for keys[i]. The
+// invariant is that no container is empty.
+type Bitmap struct {
+	keys []uint16
+	cs   []container
+}
+
+var wordPool = sync.Pool{New: func() any { return new([wordCount]uint64) }}
+var arrPool = sync.Pool{New: func() any {
+	s := make([]uint16, 0, ArrayMaxCard)
+	return &s
+}}
+
+func getWords() *[wordCount]uint64 {
+	w := wordPool.Get().(*[wordCount]uint64)
+	*w = [wordCount]uint64{}
+	return w
+}
+
+func getArr() []uint16 { return (*(arrPool.Get().(*[]uint16)))[:0] }
+
+func putArr(s []uint16) {
+	if cap(s) >= ArrayMaxCard {
+		s = s[:0]
+		arrPool.Put(&s)
+	}
+}
+
+// New returns an empty bitmap.
+func New() *Bitmap { return &Bitmap{} }
+
+// Release returns the bitmap's pooled storage and empties it. Only call it
+// on bitmaps no concurrent reader can still observe; shared (cached) bitmaps
+// are never released, they are dropped for the GC.
+func (b *Bitmap) Release() {
+	for i := range b.cs {
+		c := &b.cs[i]
+		if c.bm != nil {
+			wordPool.Put(c.bm)
+			c.bm = nil
+		}
+		if c.arr != nil {
+			putArr(c.arr)
+			c.arr = nil
+		}
+		c.rns = nil
+	}
+	b.keys = b.keys[:0]
+	b.cs = b.cs[:0]
+}
+
+// FromSorted builds a bitmap from ascending, duplicate-free values, choosing
+// the smallest container representation per chunk (the roaring size rule:
+// arrays cost 2 bytes per value, runs 4 bytes per range, dense chunks 8 KiB).
+func FromSorted(vals []uint32) *Bitmap {
+	b := New()
+	for i := 0; i < len(vals); {
+		key := uint16(vals[i] >> 16)
+		j := i
+		for j < len(vals) && uint16(vals[j]>>16) == key {
+			j++
+		}
+		b.keys = append(b.keys, key)
+		b.cs = append(b.cs, buildContainer(vals[i:j]))
+		i = j
+	}
+	return b
+}
+
+// buildContainer picks the cheapest representation for one chunk's sorted
+// low-16-bit values (passed as full uint32s sharing one high half).
+func buildContainer(vals []uint32) container {
+	card := len(vals)
+	runs := 1
+	for i := 1; i < len(vals); i++ {
+		if uint16(vals[i]) != uint16(vals[i-1])+1 {
+			runs++
+		}
+	}
+	runBytes, arrBytes, bmBytes := 4*runs+2, 2*card, 8192
+	if card > ArrayMaxCard {
+		arrBytes = 1 << 30 // arrays are capped; never pick one here
+	}
+	switch {
+	case runBytes <= arrBytes && runBytes <= bmBytes:
+		c := container{typ: typeRun, n: int32(card)}
+		start := uint16(vals[0])
+		prev := start
+		for _, v := range vals[1:] {
+			lo := uint16(v)
+			if lo != prev+1 {
+				c.rns = append(c.rns, runPair{start, prev})
+				start = lo
+			}
+			prev = lo
+		}
+		c.rns = append(c.rns, runPair{start, prev})
+		return c
+	case arrBytes <= bmBytes:
+		c := container{typ: typeArray, n: int32(card), arr: getArr()}
+		for _, v := range vals {
+			c.arr = append(c.arr, uint16(v))
+		}
+		return c
+	default:
+		c := container{typ: typeBitmap, n: int32(card), bm: getWords()}
+		for _, v := range vals {
+			lo := uint16(v)
+			c.bm[lo>>6] |= 1 << (lo & 63)
+		}
+		return c
+	}
+}
+
+// findKey returns the index of key in b.keys and whether it is present; when
+// absent, the index is the insertion point.
+func (b *Bitmap) findKey(key uint16) (int, bool) {
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(b.keys) && b.keys[lo] == key
+}
+
+// Add inserts x. An array container that would exceed ArrayMaxCard promotes
+// to a dense bitmap; a run container mutates by first rewriting itself as an
+// array or bitmap (runs are a read-optimized form produced by FromSorted).
+func (b *Bitmap) Add(x uint32) {
+	key, lo := uint16(x>>16), uint16(x)
+	i, ok := b.findKey(key)
+	if !ok {
+		b.keys = append(b.keys, 0)
+		copy(b.keys[i+1:], b.keys[i:])
+		b.keys[i] = key
+		b.cs = append(b.cs, container{})
+		copy(b.cs[i+1:], b.cs[i:])
+		b.cs[i] = container{typ: typeArray, arr: getArr()}
+	}
+	c := &b.cs[i]
+	if c.typ == typeRun {
+		c.unrun()
+	}
+	if c.typ == typeArray {
+		p := searchU16(c.arr, lo)
+		if p < len(c.arr) && c.arr[p] == lo {
+			return
+		}
+		if int(c.n) >= ArrayMaxCard {
+			c.promote()
+		} else {
+			c.arr = append(c.arr, 0)
+			copy(c.arr[p+1:], c.arr[p:])
+			c.arr[p] = lo
+			c.n++
+			return
+		}
+	}
+	w, m := lo>>6, uint64(1)<<(lo&63)
+	if c.bm[w]&m == 0 {
+		c.bm[w] |= m
+		c.n++
+	}
+}
+
+// promote rewrites an array container as a dense bitmap.
+func (c *container) promote() {
+	bm := getWords()
+	for _, lo := range c.arr {
+		bm[lo>>6] |= 1 << (lo & 63)
+	}
+	putArr(c.arr)
+	*c = container{typ: typeBitmap, n: c.n, bm: bm}
+}
+
+// unrun rewrites a run container as an array (small) or bitmap (large).
+func (c *container) unrun() {
+	if int(c.n) <= ArrayMaxCard {
+		arr := getArr()
+		for _, r := range c.rns {
+			for v := int(r.start); v <= int(r.last); v++ {
+				arr = append(arr, uint16(v))
+			}
+		}
+		*c = container{typ: typeArray, n: c.n, arr: arr}
+		return
+	}
+	bm := getWords()
+	for _, r := range c.rns {
+		for v := int(r.start); v <= int(r.last); v++ {
+			bm[v>>6] |= 1 << (v & 63)
+		}
+	}
+	*c = container{typ: typeBitmap, n: c.n, bm: bm}
+}
+
+// searchU16 is sort.Search specialized for the hot membership path.
+func searchU16(a []uint16, x uint16) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Contains reports membership of x. A nil bitmap contains nothing.
+func (b *Bitmap) Contains(x uint32) bool {
+	if b == nil {
+		return false
+	}
+	i, ok := b.findKey(uint16(x >> 16))
+	if !ok {
+		return false
+	}
+	c := &b.cs[i]
+	lo := uint16(x)
+	switch c.typ {
+	case typeArray:
+		p := searchU16(c.arr, lo)
+		return p < len(c.arr) && c.arr[p] == lo
+	case typeBitmap:
+		return c.bm[lo>>6]&(1<<(lo&63)) != 0
+	default:
+		lo2, hi := 0, len(c.rns)
+		for lo2 < hi {
+			mid := (lo2 + hi) / 2
+			switch {
+			case c.rns[mid].last < lo:
+				lo2 = mid + 1
+			case c.rns[mid].start > lo:
+				hi = mid
+			default:
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Cardinality returns the number of values in the set.
+func (b *Bitmap) Cardinality() int {
+	n := 0
+	for i := range b.cs {
+		n += int(b.cs[i].n)
+	}
+	return n
+}
+
+// IsEmpty reports whether the set has no values. A nil bitmap is empty.
+func (b *Bitmap) IsEmpty() bool { return b == nil || len(b.keys) == 0 }
+
+// And returns the intersection as a new bitmap with pooled storage. Dense
+// intersection results at or below ArrayMaxCard demote to array containers.
+func (b *Bitmap) And(o *Bitmap) *Bitmap {
+	out := New()
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			i++
+		case b.keys[i] > o.keys[j]:
+			j++
+		default:
+			if c := andContainers(&b.cs[i], &o.cs[j]); c.n > 0 {
+				out.keys = append(out.keys, b.keys[i])
+				out.cs = append(out.cs, c)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// asBitmapView returns a dense view of the container, materializing runs and
+// arrays into a pooled scratch bitmap; the second result says whether the
+// words must be returned to the pool afterwards.
+func (c *container) asBitmapView() (*[wordCount]uint64, bool) {
+	if c.typ == typeBitmap {
+		return c.bm, false
+	}
+	bm := getWords()
+	if c.typ == typeArray {
+		for _, lo := range c.arr {
+			bm[lo>>6] |= 1 << (lo & 63)
+		}
+	} else {
+		for _, r := range c.rns {
+			for v := int(r.start); v <= int(r.last); v++ {
+				bm[v>>6] |= 1 << (v & 63)
+			}
+		}
+	}
+	return bm, true
+}
+
+func andContainers(a, b *container) container {
+	// Array on either side: scan the smaller array against the other.
+	if a.typ != typeArray && b.typ == typeArray {
+		a, b = b, a
+	}
+	if a.typ == typeArray {
+		out := container{typ: typeArray, arr: getArr()}
+		if b.typ == typeArray && len(b.arr) < len(a.arr) {
+			a, b = b, a
+		}
+		for _, lo := range a.arr {
+			if b.containsLow(lo) {
+				out.arr = append(out.arr, lo)
+			}
+		}
+		out.n = int32(len(out.arr))
+		if out.n == 0 {
+			putArr(out.arr)
+			out.arr = nil
+		}
+		return out
+	}
+	// Dense x dense (runs materialize into pooled scratch words).
+	wa, ta := a.asBitmapView()
+	wb, tb := b.asBitmapView()
+	res := getWords()
+	n := 0
+	for w := 0; w < wordCount; w++ {
+		v := wa[w] & wb[w]
+		res[w] = v
+		n += bits.OnesCount64(v)
+	}
+	if ta {
+		wordPool.Put(wa)
+	}
+	if tb {
+		wordPool.Put(wb)
+	}
+	if n == 0 {
+		wordPool.Put(res)
+		return container{}
+	}
+	out := container{typ: typeBitmap, n: int32(n), bm: res}
+	if n <= ArrayMaxCard {
+		out.demote()
+	}
+	return out
+}
+
+// containsLow tests the low 16 bits against one container.
+func (c *container) containsLow(lo uint16) bool {
+	switch c.typ {
+	case typeArray:
+		p := searchU16(c.arr, lo)
+		return p < len(c.arr) && c.arr[p] == lo
+	case typeBitmap:
+		return c.bm[lo>>6]&(1<<(lo&63)) != 0
+	default:
+		for _, r := range c.rns {
+			if lo >= r.start && lo <= r.last {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// demote rewrites a dense container of cardinality <= ArrayMaxCard as an
+// array, returning the words to the pool.
+func (c *container) demote() {
+	arr := getArr()
+	for w := 0; w < wordCount; w++ {
+		word := c.bm[w]
+		for word != 0 {
+			t := bits.TrailingZeros64(word)
+			arr = append(arr, uint16(w<<6+t))
+			word &^= 1 << t
+		}
+	}
+	wordPool.Put(c.bm)
+	*c = container{typ: typeArray, n: int32(len(arr)), arr: arr}
+}
+
+// Or returns the union as a new bitmap. Array unions past ArrayMaxCard
+// promote to dense containers.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap {
+	out := New()
+	i, j := 0, 0
+	emit := func(key uint16, c container) {
+		out.keys = append(out.keys, key)
+		out.cs = append(out.cs, c)
+	}
+	for i < len(b.keys) || j < len(o.keys) {
+		switch {
+		case j >= len(o.keys) || (i < len(b.keys) && b.keys[i] < o.keys[j]):
+			emit(b.keys[i], b.cs[i].clone())
+			i++
+		case i >= len(b.keys) || o.keys[j] < b.keys[i]:
+			emit(o.keys[j], o.cs[j].clone())
+			j++
+		default:
+			emit(b.keys[i], orContainers(&b.cs[i], &o.cs[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// clone deep-copies a container into pooled storage so Or results own their
+// memory and Release stays safe.
+func (c *container) clone() container {
+	out := container{typ: c.typ, n: c.n}
+	switch c.typ {
+	case typeArray:
+		out.arr = append(getArr(), c.arr...)
+	case typeBitmap:
+		out.bm = getWords()
+		*out.bm = *c.bm
+	default:
+		out.rns = append([]runPair(nil), c.rns...)
+	}
+	return out
+}
+
+func orContainers(a, b *container) container {
+	if a.typ == typeArray && b.typ == typeArray && int(a.n)+int(b.n) <= ArrayMaxCard {
+		out := container{typ: typeArray, arr: getArr()}
+		i, j := 0, 0
+		for i < len(a.arr) || j < len(b.arr) {
+			switch {
+			case j >= len(b.arr) || (i < len(a.arr) && a.arr[i] < b.arr[j]):
+				out.arr = append(out.arr, a.arr[i])
+				i++
+			case i >= len(a.arr) || b.arr[j] < a.arr[i]:
+				out.arr = append(out.arr, b.arr[j])
+				j++
+			default:
+				out.arr = append(out.arr, a.arr[i])
+				i++
+				j++
+			}
+		}
+		out.n = int32(len(out.arr))
+		return out
+	}
+	wa, ta := a.asBitmapView()
+	wb, tb := b.asBitmapView()
+	res := getWords()
+	n := 0
+	for w := 0; w < wordCount; w++ {
+		v := wa[w] | wb[w]
+		res[w] = v
+		n += bits.OnesCount64(v)
+	}
+	if ta {
+		wordPool.Put(wa)
+	}
+	if tb {
+		wordPool.Put(wb)
+	}
+	out := container{typ: typeBitmap, n: int32(n), bm: res}
+	if n <= ArrayMaxCard {
+		out.demote()
+	}
+	return out
+}
+
+// Iterate calls fn on every value in ascending order until fn returns false.
+// It reports whether the iteration ran to completion.
+func (b *Bitmap) Iterate(fn func(uint32) bool) bool {
+	if b == nil {
+		return true
+	}
+	for i := range b.keys {
+		hi := uint32(b.keys[i]) << 16
+		c := &b.cs[i]
+		switch c.typ {
+		case typeArray:
+			for _, lo := range c.arr {
+				if !fn(hi | uint32(lo)) {
+					return false
+				}
+			}
+		case typeBitmap:
+			for w := 0; w < wordCount; w++ {
+				word := c.bm[w]
+				for word != 0 {
+					t := bits.TrailingZeros64(word)
+					if !fn(hi | uint32(w<<6+t)) {
+						return false
+					}
+					word &^= 1 << t
+				}
+			}
+		default:
+			for _, r := range c.rns {
+				for v := int(r.start); v <= int(r.last); v++ {
+					if !fn(hi | uint32(v)) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

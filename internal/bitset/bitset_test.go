@@ -1,0 +1,282 @@
+package bitset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// collect materializes a bitmap back into a sorted slice via Iterate.
+func collect(b *Bitmap) []uint32 {
+	var out []uint32
+	b.Iterate(func(v uint32) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// ctype exposes the container representation holding x, for boundary tests.
+func ctype(b *Bitmap, x uint32) string {
+	i, ok := b.findKey(uint16(x >> 16))
+	if !ok {
+		return "none"
+	}
+	switch b.cs[i].typ {
+	case typeArray:
+		return "array"
+	case typeBitmap:
+		return "bitmap"
+	default:
+		return "run"
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	// Empty postings: a term that occurs nowhere yields an empty bitmap on
+	// every construction path, and set algebra over it stays empty.
+	for name, b := range map[string]*Bitmap{
+		"new":        New(),
+		"fromSorted": FromSorted(nil),
+		"nil":        nil,
+	} {
+		if !b.IsEmpty() {
+			t.Errorf("%s: IsEmpty = false", name)
+		}
+		if b != nil && b.Cardinality() != 0 {
+			t.Errorf("%s: Cardinality = %d", name, b.Cardinality())
+		}
+		if b != nil && b.Contains(0) {
+			t.Errorf("%s: Contains(0) = true", name)
+		}
+	}
+	e := New()
+	full := FromSorted([]uint32{1, 2, 3})
+	if got := e.And(full); !got.IsEmpty() {
+		t.Errorf("empty AND full = %v", collect(got))
+	}
+	if got := full.And(e); !got.IsEmpty() {
+		t.Errorf("full AND empty = %v", collect(got))
+	}
+	if got := collect(e.Or(full)); !reflect.DeepEqual(got, []uint32{1, 2, 3}) {
+		t.Errorf("empty OR full = %v", got)
+	}
+}
+
+func TestSingleValue(t *testing.T) {
+	// Single-row terms: one posting must round-trip through every operation.
+	b := FromSorted([]uint32{70000})
+	if b.Cardinality() != 1 || !b.Contains(70000) || b.Contains(69999) {
+		t.Fatalf("single-value bitmap misbehaves: card=%d", b.Cardinality())
+	}
+	if got := collect(b); !reflect.DeepEqual(got, []uint32{70000}) {
+		t.Fatalf("Iterate = %v", got)
+	}
+	if got := collect(b.And(FromSorted([]uint32{1, 70000, 99999}))); !reflect.DeepEqual(got, []uint32{70000}) {
+		t.Fatalf("And = %v", got)
+	}
+	if got := b.And(FromSorted([]uint32{70001})); !got.IsEmpty() {
+		t.Fatalf("disjoint And = %v", collect(got))
+	}
+}
+
+func TestAbsentTermIntersection(t *testing.T) {
+	// A term absent from the index surfaces as an empty (or nil) bitmap;
+	// intersecting any candidate set with it must yield empty, not panic.
+	present := FromSorted([]uint32{5, 10, 1 << 20})
+	absent := FromSorted(nil)
+	if got := present.And(absent); !got.IsEmpty() {
+		t.Fatalf("present AND absent = %v", collect(got))
+	}
+	var nilBM *Bitmap
+	if nilBM.Contains(5) {
+		t.Fatal("nil bitmap Contains = true")
+	}
+	if !nilBM.Iterate(func(uint32) bool { t.Fatal("nil bitmap iterated"); return false }) {
+		t.Fatal("nil bitmap Iterate returned false")
+	}
+}
+
+func TestPromotionBoundary(t *testing.T) {
+	// Exactly ArrayMaxCard values stay an array; one more promotes the
+	// container to a dense bitmap. Spacing by 2 keeps runs unattractive.
+	b := New()
+	for i := 0; i < ArrayMaxCard; i++ {
+		b.Add(uint32(2 * i))
+	}
+	if got := ctype(b, 0); got != "array" {
+		t.Fatalf("at %d values: container is %s, want array", ArrayMaxCard, got)
+	}
+	if b.Cardinality() != ArrayMaxCard {
+		t.Fatalf("cardinality = %d", b.Cardinality())
+	}
+	b.Add(uint32(2*ArrayMaxCard + 1))
+	if got := ctype(b, 0); got != "bitmap" {
+		t.Fatalf("at %d values: container is %s, want bitmap", ArrayMaxCard+1, got)
+	}
+	if b.Cardinality() != ArrayMaxCard+1 || !b.Contains(2*ArrayMaxCard+1) || !b.Contains(0) {
+		t.Fatal("promotion lost values")
+	}
+	// Duplicate adds around the boundary must not change cardinality.
+	b.Add(0)
+	if b.Cardinality() != ArrayMaxCard+1 {
+		t.Fatalf("duplicate add changed cardinality to %d", b.Cardinality())
+	}
+}
+
+func TestDemotionBoundary(t *testing.T) {
+	// Intersecting two dense containers down to <= ArrayMaxCard values must
+	// demote the result container back to an array.
+	a := make([]uint32, 0, 3*ArrayMaxCard)
+	bvals := make([]uint32, 0, 3*ArrayMaxCard)
+	for i := 0; i < 3*ArrayMaxCard; i++ {
+		a = append(a, uint32(2*i)) // evens
+		bvals = append(bvals, uint32(3*i))
+	}
+	ba, bb := FromSorted(a), FromSorted(bvals)
+	if ctype(ba, 0) != "bitmap" || ctype(bb, 0) != "bitmap" {
+		t.Fatalf("inputs not dense: %s/%s", ctype(ba, 0), ctype(bb, 0))
+	}
+	got := ba.And(bb) // multiples of 6 below min(6*4096, 9*4096) in chunk 0
+	if typ := ctype(got, 0); typ != "array" {
+		t.Fatalf("demoted intersection container is %s, want array", typ)
+	}
+	want := []uint32{}
+	for i := 0; i < 3*ArrayMaxCard; i++ {
+		v := uint32(6 * i)
+		if v < uint32(6*ArrayMaxCard) && v>>16 == 0 {
+			want = append(want, v)
+		}
+	}
+	wantIn := []uint32{}
+	for _, v := range want {
+		if ba.Contains(v) && bb.Contains(v) {
+			wantIn = append(wantIn, v)
+		}
+	}
+	gotVals := collect(got)
+	var chunk0 []uint32
+	for _, v := range gotVals {
+		if v>>16 == 0 {
+			chunk0 = append(chunk0, v)
+		}
+	}
+	for _, v := range chunk0 {
+		if !ba.Contains(v) || !bb.Contains(v) {
+			t.Fatalf("intersection contains %d not in both inputs", v)
+		}
+	}
+	if len(wantIn) > 0 && len(chunk0) == 0 {
+		t.Fatal("intersection dropped chunk 0")
+	}
+}
+
+func TestRunContainers(t *testing.T) {
+	// A long contiguous range compresses to a run container; membership,
+	// iteration, intersection, and mutation must all agree with the dense
+	// answer.
+	vals := make([]uint32, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, uint32(i))
+	}
+	b := FromSorted(vals)
+	if got := ctype(b, 0); got != "run" {
+		t.Fatalf("contiguous range stored as %s, want run", got)
+	}
+	if b.Cardinality() != 10000 || !b.Contains(9999) || b.Contains(10000) {
+		t.Fatal("run container membership wrong")
+	}
+	probe := FromSorted([]uint32{9999, 10000, 50000})
+	if got := collect(b.And(probe)); !reflect.DeepEqual(got, []uint32{9999}) {
+		t.Fatalf("run AND array = %v", got)
+	}
+	// Mutating a run container rewrites it (Add is array/bitmap-only).
+	b.Add(20000)
+	if !b.Contains(20000) || !b.Contains(5000) || b.Cardinality() != 10001 {
+		t.Fatal("run container mutation lost values")
+	}
+}
+
+func TestCrossChunk(t *testing.T) {
+	// Values spanning several 64Ki chunks: keys stay sorted and operations
+	// align the right containers.
+	vals := []uint32{3, 65535, 65536, 131072, 1 << 30}
+	b := FromSorted(vals)
+	if got := collect(b); !reflect.DeepEqual(got, vals) {
+		t.Fatalf("Iterate = %v", got)
+	}
+	other := FromSorted([]uint32{65536, 1 << 30})
+	if got := collect(b.And(other)); !reflect.DeepEqual(got, []uint32{65536, 1 << 30}) {
+		t.Fatalf("And = %v", got)
+	}
+	if got := collect(b.Or(FromSorted([]uint32{7}))); !reflect.DeepEqual(got, []uint32{3, 7, 65535, 65536, 131072, 1 << 30}) {
+		t.Fatalf("Or = %v", got)
+	}
+}
+
+func TestIterateEarlyExit(t *testing.T) {
+	b := FromSorted([]uint32{1, 2, 3, 4, 5})
+	var seen []uint32
+	done := b.Iterate(func(v uint32) bool {
+		seen = append(seen, v)
+		return v < 3
+	})
+	if done || !reflect.DeepEqual(seen, []uint32{1, 2, 3}) {
+		t.Fatalf("early exit: done=%t seen=%v", done, seen)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	// Model check: random adds and intersections agree with a map-based
+	// reference across the array/bitmap/run boundary.
+	r := rand.New(rand.NewSource(20150806))
+	ref := make(map[uint32]bool)
+	b := New()
+	for i := 0; i < 20000; i++ {
+		v := uint32(r.Intn(3 * ArrayMaxCard))
+		ref[v] = true
+		b.Add(v)
+	}
+	if b.Cardinality() != len(ref) {
+		t.Fatalf("cardinality %d, reference %d", b.Cardinality(), len(ref))
+	}
+	for v := uint32(0); v < uint32(3*ArrayMaxCard); v++ {
+		if b.Contains(v) != ref[v] {
+			t.Fatalf("Contains(%d) = %t, reference %t", v, b.Contains(v), ref[v])
+		}
+	}
+	vals := collect(b)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("Iterate out of order at %d: %d then %d", i, vals[i-1], vals[i])
+		}
+	}
+	rebuilt := FromSorted(vals)
+	and := b.And(rebuilt)
+	if and.Cardinality() != len(ref) {
+		t.Fatalf("self-intersection cardinality %d, want %d", and.Cardinality(), len(ref))
+	}
+}
+
+func TestReleaseReuse(t *testing.T) {
+	// Release returns storage to the pools and empties the bitmap; the
+	// emptied bitmap must be reusable.
+	b := FromSorted([]uint32{1, 2, 3})
+	b.Release()
+	if !b.IsEmpty() {
+		t.Fatal("released bitmap not empty")
+	}
+	b2 := FromSorted(seq(0, 2*ArrayMaxCard)) // dense: exercises word pool
+	b2.Release()
+	if !b2.IsEmpty() {
+		t.Fatal("released dense bitmap not empty")
+	}
+}
+
+func seq(lo, hi int) []uint32 {
+	out := make([]uint32, 0, hi-lo)
+	for i := lo; i < hi; i += 2 {
+		out = append(out, uint32(i))
+	}
+	return out
+}

@@ -1,0 +1,27 @@
+package bitprobe
+
+import "kwsdbg/internal/obs"
+
+// Bitset probe path metrics. Probes split by how they were served —
+// "memo_hit" is the stamped-verdict fast path, "computed" a fresh semi-join
+// reduction — while fallbacks carry the cause that sent the probe back to
+// the prepared-SQL path, so operators can see which shapes the bitset
+// engine declines.
+var (
+	mProbes = obs.Default.CounterVec("kwsdbg_bitset_probes_total",
+		"Probes served on the bitset path, by outcome (memo_hit, computed).", "outcome")
+	mFallbacks = obs.Default.CounterVec("kwsdbg_bitset_fallback_total",
+		"Probes declined to the prepared-SQL path, by cause.", "cause")
+	mCandSets = obs.Default.CounterVec("kwsdbg_bitset_candset_total",
+		"Candidate bitmap events, by kind (build, rebuild, churn).", "kind")
+	mPlans = obs.Default.Counter("kwsdbg_bitset_plans_total",
+		"Probe join trees compiled into bitset plans.")
+)
+
+// The probe counters sit on the per-probe hot path; CounterVec.With resolves
+// its child through a lock and a label-key build, so the fixed outcomes are
+// resolved once here and the hot path pays a single atomic add.
+var (
+	cMemoHit  = mProbes.With("memo_hit")
+	cComputed = mProbes.With("computed")
+)

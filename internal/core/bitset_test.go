@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kwsdbg/internal/probecache"
+)
+
+// The bitset engine's standing property: routing probes through bitmap
+// semi-joins is an execution-strategy change, not a semantics change. Across
+// random schemas, data, and queries, a bitset-path run at any worker count
+// must produce an Output identical to the prepared-path run — answers,
+// non-answers, MPAN sets, and the logical probe counts — with or without the
+// verdict cache, across all four probing strategies.
+func TestBitsetPreparedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized sweep is slow")
+	}
+	r := rand.New(rand.NewSource(20260807))
+	vocab := []string{"amber", "birch", "cedar", "dune", "ember", "flint", "grove", "haze", "missing"}
+	strategies := []Strategy{BUWR, TDWR, SBH, RE}
+	for trial := 0; trial < 4; trial++ {
+		sys, _ := randomSystem(t, r)
+		sys.SetProbeCache(probecache.New(probecache.Config{}))
+		for q := 0; q < 3; q++ {
+			nk := 1 + r.Intn(3)
+			kws := make([]string, nk)
+			for i := range kws {
+				kws[i] = vocab[r.Intn(len(vocab))]
+			}
+			for _, strat := range strategies {
+				ref, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true})
+				if err != nil {
+					t.Fatalf("trial %d %v %v prepared: %v", trial, kws, strat, err)
+				}
+				want := normalized(ref)
+				for _, workers := range []int{1, 4, 8} {
+					for _, bypass := range []bool{true, false} {
+						out, err := sys.Debug(kws, Options{Strategy: strat, Workers: workers, BypassCache: bypass, BitsetProbes: true})
+						if err != nil {
+							t.Fatalf("trial %d %v %v bitset workers=%d: %v", trial, kws, strat, workers, err)
+						}
+						if got := normalized(out); !reflect.DeepEqual(got, want) {
+							t.Fatalf("trial %d %v %v: bitset workers=%d cache=%v diverges from prepared path\ngot:  %+v\nwant: %+v",
+								trial, kws, strat, workers, !bypass, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The bitset engine must actually serve probes on shapes it claims to cover:
+// a product-schema run answers every probe on the bitset path, never falling
+// back, and still matches the prepared run byte for byte.
+func TestBitsetServesAllProbes(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"saffron", "scented", "candle"}
+	for _, strat := range []Strategy{BUWR, TDWR, SBH, RE} {
+		ref, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true})
+		if err != nil {
+			t.Fatalf("%v prepared: %v", strat, err)
+		}
+		out, err := sys.Debug(kws, Options{Strategy: strat, BypassCache: true, BitsetProbes: true})
+		if err != nil {
+			t.Fatalf("%v bitset: %v", strat, err)
+		}
+		if got, want := normalized(out), normalized(ref); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: bitset diverges from prepared\ngot:  %+v\nwant: %+v", strat, got, want)
+		}
+		if out.Stats.BitsetHits == 0 {
+			t.Fatalf("%v: bitset run served no probes on the bitset path", strat)
+		}
+		if out.Stats.BitsetFallbacks != 0 {
+			t.Fatalf("%v: bitset run fell back %d times on a fully coverable schema", strat, out.Stats.BitsetFallbacks)
+		}
+		if out.Stats.BitsetHits != out.Stats.SQLExecuted {
+			t.Fatalf("%v: BitsetHits=%d but SQLExecuted=%d (cache disabled, so every probe should be a bitset hit)",
+				strat, out.Stats.BitsetHits, out.Stats.SQLExecuted)
+		}
+	}
+}
+
+// An INSERT between two bitset runs must invalidate the evaluator's memos
+// and candidate bitmaps: the second run must match a fresh prepared run
+// executed after the insert, not the pre-insert state it had bitmaps for.
+func TestBitsetInvalidatesOnInsert(t *testing.T) {
+	sys := productSystem(t)
+	kws := []string{"lilac"}
+	before, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true, BitsetProbes: true})
+	if err != nil {
+		t.Fatalf("Debug: %v", err)
+	}
+	if len(before.Answers) != 0 {
+		t.Fatalf("pre-insert answers = %d, want 0", len(before.Answers))
+	}
+	if _, err := sys.Engine().Exec("INSERT INTO Item VALUES (9, 'lilac candle', 2, 3, 2, 6.0, 'fresh')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+	fresh, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("Debug prepared: %v", err)
+	}
+	after, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true, BitsetProbes: true})
+	if err != nil {
+		t.Fatalf("Debug bitset: %v", err)
+	}
+	if len(after.Answers) == 0 {
+		t.Fatal("post-insert bitset run still reports no answers (stale memo or candidate bitmap)")
+	}
+	got, want := normalized(after), normalized(fresh)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("post-insert bitset run diverges from fresh prepared run\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+// The acceptance scenario: with the cross-request verdict cache on, a warm
+// bitset run after an intersecting INSERT must flow suspect -> re-probe ->
+// repair entirely through the bitset path, and still match a fresh prepared
+// run at every worker count.
+func TestBitsetRepairAfterIntersectingInsert(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+	// Seed the verdict cache from a bitset run; the query has dead nodes
+	// whose footprints the insert below intersects.
+	if _, err := sys.Debug(kws, Options{Strategy: SBH, BitsetProbes: true}); err != nil {
+		t.Fatalf("seed run: %v", err)
+	}
+	if _, err := sys.Engine().Exec(
+		"INSERT INTO Item VALUES (9, 'saffron scented candle', 2, 4, 4, 9.5, 'new stock')"); err != nil {
+		t.Fatalf("Exec(INSERT): %v", err)
+	}
+	fresh, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("fresh prepared run: %v", err)
+	}
+	want := normalized(fresh)
+	for _, workers := range []int{1, 4, 8} {
+		// The first warm run repairs the cache for the later ones, so only
+		// workers=1 sees suspects; the others must still match byte for
+		// byte off the repaired verdicts.
+		out, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers, BitsetProbes: true})
+		if err != nil {
+			t.Fatalf("warm bitset workers=%d: %v", workers, err)
+		}
+		if got := normalized(out); !reflect.DeepEqual(got, want) {
+			t.Fatalf("warm bitset workers=%d diverges from fresh prepared run\ngot:  %+v\nwant: %+v", workers, got, want)
+		}
+		if workers == 1 {
+			if out.Stats.Suspects == 0 {
+				t.Fatal("intersecting INSERT produced no suspects (footprint not stamped?)")
+			}
+			if out.Stats.Repaired == 0 {
+				t.Fatal("suspects were not repaired")
+			}
+			if out.Stats.BitsetHits == 0 {
+				t.Fatal("repair re-probes did not flow through the bitset path")
+			}
+		}
+	}
+}
+
+// TextProbes and BitsetProbes select different execution paths for the same
+// probe; asking for both is a caller bug and must fail loudly.
+func TestBitsetTextMutuallyExclusive(t *testing.T) {
+	sys := productSystem(t)
+	_, err := sys.Debug([]string{"lilac"}, Options{Strategy: SBH, TextProbes: true, BitsetProbes: true})
+	if err == nil {
+		t.Fatal("TextProbes+BitsetProbes was accepted")
+	}
+}

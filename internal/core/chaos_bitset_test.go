@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kwsdbg/internal/probecache"
+)
+
+// TestChaosBitsetWriteStorm is TestChaosWriteStorm routed through the bitset
+// probe path (run under -race by `make race` and `make chaos-writes`):
+// concurrent INSERTs hammer the engine while warm cached bitset runs are in
+// flight. Mid-storm runs must stay error-free — candidate bitmaps and
+// verdict memos stale out rather than vouch for rows they never saw, and
+// suspect verdicts repair through the bitset path. Once the storm quiesces,
+// warm bitset runs at every worker count must match a cold prepared run of
+// the final data exactly.
+func TestChaosBitsetWriteStorm(t *testing.T) {
+	sys := productSystem(t)
+	sys.SetProbeCache(probecache.New(probecache.Config{}))
+	kws := []string{"saffron", "scented", "candle"}
+	if _, err := sys.Debug(kws, Options{Strategy: SBH, BitsetProbes: true}); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	const writers, perWriter = 4, 12
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := 300 + w*perWriter + i
+				var stmt string
+				switch i % 3 {
+				case 0:
+					stmt = fmt.Sprintf(
+						"INSERT INTO Item VALUES (%d, 'saffron scented candle %d', 2, 4, 1, 5.0, 'storm')", id, id)
+				case 1:
+					stmt = fmt.Sprintf("INSERT INTO Attr VALUES (%d, 'scent', 'storm%d')", id, id)
+				default:
+					stmt = fmt.Sprintf("INSERT INTO PType VALUES (%d, 'storm%d')", id, id)
+				}
+				if _, err := sys.Engine().Exec(stmt); err != nil {
+					errs <- fmt.Errorf("writer %d insert %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	stormDone := make(chan struct{})
+	go func() { wg.Wait(); close(stormDone) }()
+	for running := true; running; {
+		select {
+		case <-stormDone:
+			running = false
+		default:
+			if _, err := sys.Debug(kws, Options{Strategy: SBH, Workers: 4, BitsetProbes: true}); err != nil {
+				t.Fatalf("mid-storm bitset debug: %v", err)
+			}
+		}
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	cold, err := sys.Debug(kws, Options{Strategy: SBH, BypassCache: true})
+	if err != nil {
+		t.Fatalf("cold prepared run at quiesce: %v", err)
+	}
+	want := normalized(cold)
+	for _, workers := range []int{1, 4, 8} {
+		warm, err := sys.Debug(kws, Options{Strategy: SBH, Workers: workers, BitsetProbes: true})
+		if err != nil {
+			t.Fatalf("warm bitset run workers=%d at quiesce: %v", workers, err)
+		}
+		if got := normalized(warm); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: warm bitset run diverges from cold prepared run after storm\ngot:  %+v\nwant: %+v",
+				workers, got, want)
+		}
+	}
+}

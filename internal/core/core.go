@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"kwsdbg/internal/clock"
+	"kwsdbg/internal/core/bitprobe"
 	"kwsdbg/internal/engine"
 	"kwsdbg/internal/lattice"
 	"kwsdbg/internal/obs"
@@ -85,6 +86,12 @@ type System struct {
 	// version moved — planning; entries self-revalidate, so the cache
 	// never needs flushing on INSERT.
 	prepared *engine.PreparedCache
+
+	// bits is the bitset probe engine: cross-request compiled join-tree
+	// plans, candidate bitmaps, and stamped verdict memos. Like prepared,
+	// entries self-revalidate against the engine's version vector, so the
+	// evaluator never needs flushing on INSERT.
+	bits *bitprobe.Evaluator
 }
 
 // NewSystem wires an engine and a pre-generated lattice together. The lattice
@@ -96,6 +103,7 @@ func NewSystem(eng *engine.Engine, lat *lattice.Lattice) (*System, error) {
 	return &System{
 		eng: eng, lat: lat, db: sqldriver.OpenDB(eng),
 		prepared: engine.NewPreparedCache(engine.DefaultPlanCacheSize, "prepared"),
+		bits:     bitprobe.New(eng),
 	}, nil
 }
 
@@ -150,6 +158,10 @@ func (sys *System) PurgePlanCaches() {
 	sys.eng.PlanCache().Purge()
 }
 
+// PurgeBitsetCaches drops the bitset engine's compiled plans, verdict memos,
+// and candidate bitmaps; benchmarks use it to measure the cold bitset path.
+func (sys *System) PurgeBitsetCaches() { sys.bits.Purge() }
+
 // Stats aggregates the measurements of one debugging run — every quantity
 // §3 of the paper reports.
 type Stats struct {
@@ -195,6 +207,13 @@ type Stats struct {
 	// verdicts this run stored back for them.
 	Suspects int
 	Repaired int
+
+	// Bitset-path accounting, execution-dependent like the blocks above:
+	// BitsetHits counts probes answered by bitmap semi-joins without SQL,
+	// BitsetFallbacks probes the bitset engine declined to the prepared
+	// path. Both are zero unless Options.BitsetProbes was set.
+	BitsetHits      int
+	BitsetFallbacks int
 }
 
 // SQLIssued is the number of probes that actually reached the database:
@@ -281,6 +300,12 @@ type Options struct {
 	// implementation, for benchmark comparison, and for backends reachable
 	// only through a database/sql driver.
 	TextProbes bool
+	// BitsetProbes routes Phase 3 probes through the bitset engine: bitmap
+	// semi-joins over inverted-index candidate sets, falling back to the
+	// prepared path per probe for shapes the engine cannot cover. Output is
+	// byte-identical to the prepared path (property-tested at several
+	// worker counts). Mutually exclusive with TextProbes.
+	BitsetProbes bool
 	// Deadline bounds the wall time Phase 3 may spend probing; zero means
 	// unlimited. Unlike cancelling the DebugContext context — which aborts
 	// the run with an error — an expired Deadline degrades gracefully: the
@@ -335,6 +360,9 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	}
 	if opts.Pa < 0 || opts.Pa >= 1 {
 		return nil, fmt.Errorf("core: pa must be in [0, 1), got %v", opts.Pa)
+	}
+	if opts.TextProbes && opts.BitsetProbes {
+		return nil, fmt.Errorf("core: TextProbes and BitsetProbes are mutually exclusive")
 	}
 	_, sp12 := obs.StartSpan(ctx, "phase12")
 	ph, err := sys.phase12(keywords)
@@ -398,7 +426,8 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	// share the verdict cache and produce identical Output.
 	var base Oracle
 	var prepOr *preparedOracle
-	if opts.TextProbes {
+	switch {
+	case opts.TextProbes:
 		sqlOr := newSQLOracle(probeCtx, sys.lat, sys.db, keywords)
 		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
 			// Sync the cache's version view before the first probe could
@@ -411,7 +440,18 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 		}
 		sqlOr.fl = fl
 		base = sqlOr
-	} else {
+	case opts.BitsetProbes:
+		bitOr := newBitsetOracle(probeCtx, sys.lat, sys.eng, sys.prepared, keywords, sys.bits)
+		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
+			bitOr.view = cache.SyncVersions(sys.eng.Versions())
+			bitOr.cache = cache
+		}
+		bitOr.setFlight(fl)
+		// The embedded prepared oracle serves fallbacks, so its candidate
+		// cache and compile stats flow into the run's accounting as usual.
+		prepOr = bitOr.preparedOracle
+		base = bitOr
+	default:
 		prepOr = newPreparedOracle(probeCtx, sys.lat, sys.eng, sys.prepared, keywords)
 		if cache := sys.ProbeCache(); cache != nil && !opts.BypassCache {
 			prepOr.view = cache.SyncVersions(sys.eng.Versions())
@@ -453,6 +493,8 @@ func (sys *System) debugWith(ctx context.Context, keywords []string, opts Option
 	out.Stats.PlanCompiles = ost.Compiled
 	out.Stats.Suspects = ost.Suspects
 	out.Stats.Repaired = ost.Repaired
+	out.Stats.BitsetHits = ost.BitsetHits
+	out.Stats.BitsetFallbacks = ost.BitsetFallbacks
 	if prepOr != nil {
 		ch, cm := prepOr.candStats()
 		out.Stats.CandSetHits, out.Stats.CandSetMisses = int(ch), int(cm)

@@ -56,6 +56,12 @@ type OracleStats struct {
 	// on cross-request cache state, never on the query.
 	Suspects int
 	Repaired int
+	// BitsetHits counts probes the bitset engine answered with bitmap
+	// semi-joins (no SQL ran); BitsetFallbacks counts probes it declined to
+	// the prepared path. Both depend on data shape and warm state, never on
+	// the query's answer set.
+	BitsetHits      int
+	BitsetFallbacks int
 }
 
 // nodeFootprint is the version-vector footprint of a node's existence query:

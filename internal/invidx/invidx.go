@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 	"unicode"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/storage"
 )
 
@@ -62,7 +62,7 @@ type Index struct {
 // after mutating the data (the debugging workflow of the paper's introduction
 // updates synonym lists); indexes are cheap relative to the data load.
 func Build(db *storage.Database) *Index {
-	buildStart := time.Now()
+	buildStart := clock.Now()
 	ix := &Index{
 		tables:       make(map[string]*tablePostings),
 		tablesByTerm: make(map[string][]string),
@@ -98,7 +98,12 @@ func Build(db *storage.Database) *Index {
 			return true
 		})
 		ix.tables[rel.Name] = tp
+		toks := make([]string, 0, len(tp.anyCol))
 		for tok := range tp.anyCol {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		for _, tok := range toks {
 			ix.tablesByTerm[tok] = append(ix.tablesByTerm[tok], rel.Name)
 		}
 	}
@@ -106,7 +111,7 @@ func Build(db *storage.Database) *Index {
 		sort.Strings(ix.tablesByTerm[tok])
 	}
 	mBuilds.Inc()
-	mBuildSeconds.Set(time.Since(buildStart).Seconds())
+	mBuildSeconds.Set(clock.Since(buildStart).Seconds())
 	mTerms.Set(float64(len(ix.tablesByTerm)))
 	return ix
 }
@@ -124,7 +129,7 @@ func appendUnique(ids []storage.RowID, id storage.RowID) []storage.RowID {
 // (as a token, in any text column). This is the Phase 1 binding lookup.
 // Multi-token keywords bind to the tables containing every token.
 func (ix *Index) Tables(keyword string) []string {
-	start := time.Now()
+	start := clock.Now()
 	toks := Tokenize(keyword)
 	if len(toks) == 0 {
 		return nil
@@ -189,7 +194,7 @@ func (ix *Index) Rows(table, column, keyword string) []storage.RowID {
 }
 
 func lookup(cp columnPostings, keyword string) []storage.RowID {
-	start := time.Now()
+	start := clock.Now()
 	toks := Tokenize(keyword)
 	if len(toks) == 0 {
 		return nil

@@ -3,6 +3,7 @@ package invidx
 import (
 	"time"
 
+	"kwsdbg/internal/clock"
 	"kwsdbg/internal/obs"
 )
 
@@ -30,5 +31,5 @@ func recordLookup(op string, start time.Time, hit bool) {
 		result = "hit"
 	}
 	mLookups.With(op, result).Inc()
-	mLookupSeconds.With(op).Observe(time.Since(start).Seconds())
+	mLookupSeconds.With(op).Observe(clock.Since(start).Seconds())
 }

@@ -35,7 +35,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "forbid wall-clock/randomness reads and map-iteration-order leaks " +
-		"in the output-affecting packages (core, lattice, report, sqltext, obs, probecache)",
+		"in the output-affecting packages (core, lattice, report, sqltext, obs, " +
+		"probecache, invidx, bitset, bitprobe)",
 	Run: run,
 }
 
@@ -48,12 +49,19 @@ var Analyzer = &analysis.Analyzer{
 // the oracle's already-measured SQL latency). probecache is scoped because
 // verdict expiry decides probe outcomes: its TTL deadline must come through
 // the clock seam, so tests (and the byte-identity property suite) can pin it.
+// invidx is scoped because candidate sets feed the bitset probe path
+// directly: its lookup timing must go through the clock seam and its posting
+// lists must never inherit map order. bitset and core/bitprobe are scoped
+// because they *are* a probe path — their verdicts must be a pure function
+// of the data, with no clock reads and no map iteration at all on the hot
+// path.
 var Scope = func(pkgPath string) bool {
 	switch pkgPath {
 	case "kwsdbg/internal/core", "kwsdbg/internal/lattice",
 		"kwsdbg/internal/report", "kwsdbg/internal/sqltext",
 		"kwsdbg/internal/obs", "kwsdbg/internal/obs/flight",
-		"kwsdbg/internal/probecache":
+		"kwsdbg/internal/probecache", "kwsdbg/internal/invidx",
+		"kwsdbg/internal/bitset", "kwsdbg/internal/core/bitprobe":
 		return true
 	}
 	return false

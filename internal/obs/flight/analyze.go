@@ -37,7 +37,13 @@ type ProbeStat struct {
 	// many of this probe's re-executions restored a verdict for one.
 	Suspects int
 	Repairs  int
-	// SQLTime is the summed measured latency of the node's SQLExec events.
+	// BitsetHits counts probes answered by bitmap semi-joins (no SQL);
+	// BitsetFallbacks counts attempts the bitset engine declined to SQL.
+	BitsetHits      int
+	BitsetFallbacks int
+	// SQLTime is the summed measured latency of the node's execution events
+	// — SQLExec and BitsetHit both, so cross-path diffs attribute the full
+	// probe-time delta.
 	SQLTime time.Duration
 	// Alive is the last committed verdict; meaningful when Verdicts > 0.
 	Alive bool
@@ -63,7 +69,8 @@ type Analysis struct {
 	// CandSetHits/Misses aggregate the per-run candidate-set cache.
 	CandSetHits   int
 	CandSetMisses int
-	// TotalSQL is the summed latency of all SQLExec events.
+	// TotalSQL is the summed latency of all execution events (SQLExec and
+	// BitsetHit).
 	TotalSQL time.Duration
 	// Exhausted is the governor's trip cause, "" if the run completed.
 	Exhausted string
@@ -130,6 +137,12 @@ func Analyze(led *Ledger) *Analysis {
 			ps.Suspects++
 		case Repair:
 			ps.Repairs++
+		case BitsetHit:
+			ps.BitsetHits++
+			ps.SQLTime += ev.Dur
+			a.TotalSQL += ev.Dur
+		case BitsetFallback:
+			ps.BitsetFallbacks++
 		}
 	}
 	return a
@@ -197,7 +210,7 @@ func eventDetail(ev Event) string {
 	if ev.Cause != "" {
 		fmt.Fprintf(&sb, " cause=%s", ev.Cause)
 	}
-	if ev.Kind == SQLExec {
+	if ev.Kind == SQLExec || ev.Kind == BitsetHit {
 		fmt.Fprintf(&sb, " dur=%v alive=%t", ev.Dur, ev.Alive)
 	}
 	if ev.Kind == Verdict || ev.Kind == ProbeCacheHit || ev.Kind == Repair {
@@ -235,6 +248,9 @@ type DiffEntry struct {
 	// a write suspected their cached dead verdict and B re-proved it. Their
 	// SQL time is correctness spend, not a cache regression.
 	NewlyRepaired bool
+	// NewlyBitset marks probes that B answered on the bitset path more than
+	// A did — the causal attribution for a bitset-vs-SQL speedup.
+	NewlyBitset bool
 }
 
 // Delta is the probe's SQL-time change (B minus A).
@@ -243,7 +259,7 @@ func (e *DiffEntry) Delta() time.Duration { return e.BSQL - e.ASQL }
 // changed reports whether the entry is worth listing.
 func (e *DiffEntry) changed() bool {
 	return e.OnlyIn != "" || e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried ||
-		e.NewlyRepaired || e.ASQL != e.BSQL
+		e.NewlyRepaired || e.NewlyBitset || e.ASQL != e.BSQL
 }
 
 // DiffResult is the causal comparison of two runs of the same query.
@@ -263,9 +279,14 @@ type DiffResult struct {
 	NewlyReplanned int
 	NewlyRetried   int
 	NewlyRepaired  int
+	// NewlyBitset counts probes B answered on the bitset path more than A.
+	NewlyBitset int
 	// RepairedSQL is the part of Explained spent re-proving suspected
 	// verdicts — expected spend under write churn, not a regression.
 	RepairedSQL time.Duration
+	// BitsetSQL is the part of Explained attributable to newly-bitset
+	// probes — typically negative: the bitmap-semi-join speedup.
+	BitsetSQL time.Duration
 }
 
 // Diff matches the two runs' probes by identity (probe key, falling back to
@@ -296,6 +317,7 @@ func Diff(a, b *Analysis) *DiffResult {
 			e.NewlyReplanned = pb.Replans > pa.Replans
 			e.NewlyRetried = pb.Retries > pa.Retries
 			e.NewlyRepaired = pb.Repairs > pa.Repairs
+			e.NewlyBitset = pb.BitsetHits > pa.BitsetHits
 		}
 		d.add(e)
 	}
@@ -312,6 +334,7 @@ func Diff(a, b *Analysis) *DiffResult {
 			NewlyReplanned: pb.Replans > 0,
 			NewlyRetried:   pb.Retries > 0,
 			NewlyRepaired:  pb.Repairs > 0,
+			NewlyBitset:    pb.BitsetHits > 0,
 		})
 	}
 
@@ -342,7 +365,12 @@ func (d *DiffResult) add(e DiffEntry) {
 		d.NewlyRepaired++
 		d.RepairedSQL += e.Delta()
 	}
-	if e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried || e.NewlyRepaired || e.OnlyIn == "b" {
+	if e.NewlyBitset {
+		d.NewlyBitset++
+		d.BitsetSQL += e.Delta()
+	}
+	if e.NewlyMissed || e.NewlyReplanned || e.NewlyRetried || e.NewlyRepaired ||
+		e.NewlyBitset || e.OnlyIn == "b" {
 		d.Explained += e.Delta()
 	}
 	d.Entries = append(d.Entries, e)
@@ -380,6 +408,10 @@ func (d *DiffResult) RenderDiff(w io.Writer, aLabel, bLabel string, top int) {
 		fmt.Fprintf(w, "verdict repairs: %d probes re-proved after writes suspected their cached verdicts (%v of the delta is repair spend, not regression)\n",
 			d.NewlyRepaired, signedDur(d.RepairedSQL))
 	}
+	if d.NewlyBitset > 0 {
+		fmt.Fprintf(w, "bitset path: %d probes newly answered by bitmap semi-joins (%v of the delta is bitset attribution)\n",
+			d.NewlyBitset, signedDur(d.BitsetSQL))
+	}
 	n := 0
 	for i := range d.Entries {
 		e := &d.Entries[i]
@@ -400,6 +432,9 @@ func (d *DiffResult) RenderDiff(w io.Writer, aLabel, bLabel string, top int) {
 		}
 		if e.NewlyRepaired {
 			flags = append(flags, "repaired")
+		}
+		if e.NewlyBitset {
+			flags = append(flags, "bitset")
 		}
 		if e.OnlyIn != "" {
 			flags = append(flags, "only-in-"+e.OnlyIn)

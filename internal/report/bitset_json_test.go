@@ -1,0 +1,55 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+
+	"kwsdbg/internal/core"
+)
+
+// The acceptance property at the report boundary, bitset edition: a
+// bitset-path run renders byte-identical report text and JSON (including SQL
+// text) to the prepared-path run at every worker count.
+func TestBitsetPreparedByteIdentity(t *testing.T) {
+	sys, _ := exampleOutput(t)
+	for _, kws := range [][]string{
+		{"saffron", "scented", "candle"},
+		{"red", "oil"},
+		{"vanilla"},
+	} {
+		ref, err := sys.Debug(kws, core.Options{Strategy: core.SBH, BypassCache: true})
+		if err != nil {
+			t.Fatalf("Debug prepared %v: %v", kws, err)
+		}
+		var wantJSON bytes.Buffer
+		if err := JSON(&wantJSON, scrub(ref), true); err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		var wantText bytes.Buffer
+		if err := Text(&wantText, scrub(ref), Options{ShowSQL: true}); err != nil {
+			t.Fatalf("Text: %v", err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			out, err := sys.Debug(kws, core.Options{Strategy: core.SBH, Workers: workers, BypassCache: true, BitsetProbes: true})
+			if err != nil {
+				t.Fatalf("Debug bitset %v workers=%d: %v", kws, workers, err)
+			}
+			var gotJSON bytes.Buffer
+			if err := JSON(&gotJSON, scrub(out), true); err != nil {
+				t.Fatalf("JSON: %v", err)
+			}
+			if !bytes.Equal(gotJSON.Bytes(), wantJSON.Bytes()) {
+				t.Errorf("%v workers=%d: bitset JSON diverges from prepared JSON\ngot:  %s\nwant: %s",
+					kws, workers, gotJSON.String(), wantJSON.String())
+			}
+			var gotText bytes.Buffer
+			if err := Text(&gotText, scrub(out), Options{ShowSQL: true}); err != nil {
+				t.Fatalf("Text: %v", err)
+			}
+			if !bytes.Equal(gotText.Bytes(), wantText.Bytes()) {
+				t.Errorf("%v workers=%d: bitset report text diverges from prepared text\ngot:\n%s\nwant:\n%s",
+					kws, workers, gotText.String(), wantText.String())
+			}
+		}
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race verify experiments bench chaos chaos-writes
+.PHONY: all build vet lint test race budget verify experiments bench chaos chaos-writes
 
 all: verify
 
@@ -27,7 +27,8 @@ vet:
 	fi
 
 # lint runs the repo's own analyzer suite (cmd/kwslint): determinism,
-# ctxflow, metricname, lockcheck, errwrap. See DESIGN.md §10.
+# ctxflow, metricname, lockcheck, errwrap, and the CFG-based analyzers
+# lockflow, leakcheck, hotpath, eventkind. See DESIGN.md §10 and §14.
 lint:
 	$(GO) run ./cmd/kwslint ./...
 
@@ -42,7 +43,14 @@ test:
 race:
 	$(GO) test -race ./internal/obs ./internal/server ./internal/core ./internal/core/bitprobe ./internal/bitset ./internal/engine ./internal/probecache ./internal/storage
 
-verify: build vet lint test race
+# budget re-runs the //kws:hotpath allocation pins on their own (they also
+# run inside `test`): the manifest-driven table in internal/core requires a
+# harness for every annotated function and pins warm probe servicing and
+# flight logging at zero allocations.
+budget:
+	$(GO) test -run 'TestHotpathAllocBudgets|TestLookupRecordAllocFree' ./internal/core ./internal/invidx
+
+verify: build vet lint test race budget
 
 experiments:
 	$(GO) run ./cmd/experiments -scale 0.02 -maxlevel 3

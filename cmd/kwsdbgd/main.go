@@ -172,6 +172,7 @@ func run(logger *slog.Logger, cfg serveConfig) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 	if debugAddr != "" {
+		//lint:ignore kwslint/leakcheck process-lifetime debug listener; dies with the process
 		go serveDebug(logger, debugAddr)
 	}
 

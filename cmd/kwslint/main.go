@@ -1,14 +1,18 @@
 // Command kwslint is the repo's multichecker: it runs the internal/lint
 // analyzer suite over the module and fails the build on any diagnostic.
 //
-// The five analyzers encode invariants that previously lived only in
-// reviewers' heads (see DESIGN.md §10):
+// The nine analyzers encode invariants that previously lived only in
+// reviewers' heads (see DESIGN.md §10 and §14):
 //
 //	determinism  no wall-clock/randomness or map-order leaks in output paths
 //	ctxflow      contexts are threaded, never dropped or re-minted
 //	metricname   every kwsdbg_* metric is well-formed and registered
 //	lockcheck    `guarded by mu` fields are only touched under their mutex
 //	errwrap      error chains survive wrapping; sentinels use errors.Is
+//	lockflow     CFG-based Lock/Unlock balance on every path; lock-order cycles
+//	leakcheck    every `go` statement carries join or cancellation evidence
+//	hotpath      //kws:hotpath functions avoid allocation-prone constructs
+//	eventkind    flight Kind enum, kindNames, and registry stay in lockstep
 //
 // Usage:
 //
@@ -34,9 +38,13 @@ import (
 	"kwsdbg/internal/lint/ctxflow"
 	"kwsdbg/internal/lint/determinism"
 	"kwsdbg/internal/lint/errwrap"
+	"kwsdbg/internal/lint/eventkind"
+	"kwsdbg/internal/lint/hotpath"
 	"kwsdbg/internal/lint/ignore"
+	"kwsdbg/internal/lint/leakcheck"
 	"kwsdbg/internal/lint/loadpkg"
 	"kwsdbg/internal/lint/lockcheck"
+	"kwsdbg/internal/lint/lockflow"
 	"kwsdbg/internal/lint/metricname"
 )
 
@@ -45,7 +53,11 @@ var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	determinism.Analyzer,
 	errwrap.Analyzer,
+	eventkind.Analyzer,
+	hotpath.Analyzer,
+	leakcheck.Analyzer,
 	lockcheck.Analyzer,
+	lockflow.Analyzer,
 	metricname.Analyzer,
 }
 

@@ -6,14 +6,21 @@
 // strings, and emits
 //
 //   - internal/obs/registry.go — the generated registry the kwslint
-//     metricname analyzer checks declared names against, and
+//     metricname analyzer checks declared names against,
 //   - the metric table in DESIGN.md, rewritten in place between the
-//     `begin/end generated metric table` HTML comment markers.
+//     `begin/end generated metric table` HTML comment markers,
+//   - internal/obs/flight/kinds_gen.go — the flight-event KindRegistry the
+//     kwslint eventkind analyzer requires every Kind constant to appear in,
+//     and
+//   - internal/lint/hotpath/manifest_gen.go — the list of //kws:hotpath
+//     functions, which the AllocsPerRun budget test in internal/core walks
+//     so the static rule and the runtime budget pin each other.
 //
-// One scan feeds both outputs, which is the point: a metric cannot be
-// registered without being documented, and kwslint refuses names missing
-// from the registry, so adding a metric without running
-// `go generate ./internal/obs` fails the build rather than drifting the docs.
+// One scan feeds every output, which is the point: a metric cannot be
+// registered without being documented, a flight kind cannot record without
+// a registry row, a hot-path annotation cannot exist without a runtime
+// budget, and kwslint refuses the stale state, so skipping
+// `go generate ./internal/obs` fails the build rather than drifting.
 //
 // A non-constant metric name or help string is a fatal error here and a
 // kwslint/metricname diagnostic in the analyzer; obsgen reports it with a
@@ -25,6 +32,7 @@ import (
 	"go/ast"
 	"go/constant"
 	"go/format"
+	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -32,6 +40,7 @@ import (
 	"sort"
 	"strings"
 
+	"kwsdbg/internal/lint/hotpath"
 	"kwsdbg/internal/lint/loadpkg"
 )
 
@@ -85,7 +94,19 @@ func run() error {
 	if err := rewriteDesignTable(filepath.Join(root, "DESIGN.md"), metrics); err != nil {
 		return err
 	}
-	fmt.Printf("obsgen: %d metric families registered\n", len(metrics))
+	kinds, err := collectKinds(set)
+	if err != nil {
+		return err
+	}
+	if err := writeKindRegistry(filepath.Join(root, "internal", "obs", "flight", "kinds_gen.go"), kinds); err != nil {
+		return err
+	}
+	annotated := collectHotpath(set)
+	if err := writeHotpathManifest(filepath.Join(root, "internal", "lint", "hotpath", "manifest_gen.go"), annotated); err != nil {
+		return err
+	}
+	fmt.Printf("obsgen: %d metric families, %d flight kinds, %d hot-path functions\n",
+		len(metrics), len(kinds), len(annotated))
 	return nil
 }
 
@@ -318,4 +339,207 @@ func rewriteDesignTable(path string, metrics []metric) error {
 // escapeCell keeps help text table-safe: pipes would split the row.
 func escapeCell(s string) string {
 	return strings.ReplaceAll(strings.TrimSpace(s), "|", `\|`)
+}
+
+const flightPath = "kwsdbg/internal/obs/flight"
+
+// kindEntry is one flight Kind constant with its wire name and doc line.
+type kindEntry struct {
+	Const string // Go constant name, e.g. "Admit"
+	Name  string // stable wire name from kindNames, e.g. "admit"
+	Doc   string // declaration comment, collapsed to one line
+}
+
+// collectKinds reads the flight package's Kind enum and kindNames table.
+func collectKinds(set *loadpkg.Set) ([]kindEntry, error) {
+	var flight *loadpkg.Package
+	for _, pkg := range set.Packages() {
+		if pkg.ImportPath == flightPath {
+			flight = pkg
+			break
+		}
+	}
+	if flight == nil {
+		return nil, fmt.Errorf("package %s not found in module", flightPath)
+	}
+
+	names := kindWireNames(flight)
+	var out []kindEntry
+	for _, f := range flight.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					c, ok := flight.TypesInfo.Defs[id].(*types.Const)
+					if !ok || !c.Exported() {
+						continue
+					}
+					named, ok := c.Type().(*types.Named)
+					if !ok || named.Obj().Name() != "Kind" {
+						continue
+					}
+					wire, ok := names[id.Name]
+					if !ok {
+						return nil, fmt.Errorf("%s: flight Kind %s has no kindNames entry",
+							flight.Fset.Position(id.Pos()), id.Name)
+					}
+					out = append(out, kindEntry{
+						Const: id.Name,
+						Name:  wire,
+						Doc:   collapseDoc(vs.Doc, id.Name),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// kindWireNames maps Kind constant names to their wire strings by reading
+// the kindNames composite literal.
+func kindWireNames(pkg *loadpkg.Package) map[string]string {
+	out := map[string]string{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range vs.Names {
+				if id.Name != "kindNames" || i >= len(vs.Values) {
+					continue
+				}
+				cl, ok := vs.Values[i].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, el := range cl.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if s, ok := constString(pkg, kv.Value); ok {
+						out[key.Name] = s
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// collapseDoc flattens a declaration comment to one line, dropping the
+// leading "Name:" convention the enum comments use.
+func collapseDoc(cg *ast.CommentGroup, name string) string {
+	text := strings.Join(strings.Fields(cg.Text()), " ")
+	text = strings.TrimPrefix(text, name+":")
+	return strings.TrimSpace(text)
+}
+
+func writeKindRegistry(path string, kinds []kindEntry) error {
+	var b strings.Builder
+	b.WriteString(`// Code generated by cmd/obsgen. DO NOT EDIT.
+//
+// KindRegistry is the machine-readable index of the flight recorder's event
+// schema: one row per Kind constant, in enum order, with the stable wire
+// name String() emits. The kwslint eventkind analyzer requires every Kind
+// constant to appear here, so a new event kind cannot ship without
+// regenerating (` + "`go generate ./internal/obs`" + `) — which also refreshes the
+// metric registry and hot-path manifest from the same scan.
+package flight
+
+// RegisteredKind describes one probe-lifecycle event kind.
+type RegisteredKind struct {
+	Kind Kind
+	Name string // stable wire name, as emitted by Kind.String
+	Doc  string // declaration comment, one line
+}
+
+// KindRegistry lists every event kind, in enum order.
+var KindRegistry = []RegisteredKind{
+`)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "\t{%s, %q, %q},\n", k.Const, k.Name, k.Doc)
+	}
+	b.WriteString("}\n")
+	src, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return fmt.Errorf("formatting kinds_gen.go: %w", err)
+	}
+	return os.WriteFile(path, src, 0o644)
+}
+
+// collectHotpath lists every //kws:hotpath function in the module as
+// "importpath.Func" / "importpath.(*Recv).Method", sorted.
+func collectHotpath(set *loadpkg.Set) []string {
+	var out []string
+	for _, pkg := range set.Packages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hotpath.Annotated(fd) {
+					continue
+				}
+				out = append(out, pkg.ImportPath+"."+funcName(fd))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// funcName renders a declaration's name with its receiver, go doc style.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		if id, ok := st.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + fd.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func writeHotpathManifest(path string, annotated []string) error {
+	var b strings.Builder
+	b.WriteString(`// Code generated by cmd/obsgen. DO NOT EDIT.
+//
+// Manifest is the module's //kws:hotpath inventory. The static analyzer
+// (this package) forbids allocation-prone constructs inside these
+// functions; the AllocsPerRun budget test in internal/core walks this list
+// to require a runtime allocation budget for each entry. Removing an
+// annotation to silence the lint also removes the function from the
+// runtime budget — visibly, in this generated diff.
+package hotpath
+
+// Manifest lists every //kws:hotpath function, "importpath.Func" or
+// "importpath.(*Recv).Method", sorted.
+var Manifest = []string{
+`)
+	for _, name := range annotated {
+		fmt.Fprintf(&b, "\t%q,\n", name)
+	}
+	b.WriteString("}\n")
+	src, err := format.Source([]byte(b.String()))
+	if err != nil {
+		return fmt.Errorf("formatting manifest_gen.go: %w", err)
+	}
+	return os.WriteFile(path, src, 0o644)
 }

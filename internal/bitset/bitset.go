@@ -268,6 +268,8 @@ func searchU16(a []uint16, x uint16) int {
 }
 
 // Contains reports membership of x. A nil bitmap contains nothing.
+//
+//kws:hotpath
 func (b *Bitmap) Contains(x uint32) bool {
 	if b == nil {
 		return false
@@ -315,6 +317,8 @@ func (b *Bitmap) IsEmpty() bool { return b == nil || len(b.keys) == 0 }
 
 // And returns the intersection as a new bitmap with pooled storage. Dense
 // intersection results at or below ArrayMaxCard demote to array containers.
+//
+//kws:hotpath
 func (b *Bitmap) And(o *Bitmap) *Bitmap {
 	out := New()
 	i, j := 0, 0

@@ -138,6 +138,8 @@ type verdictMemo struct {
 // shared across isomorphic nodes through it). ok=false means the shape is
 // not coverable — or churned too hard to stamp — and the caller must fall
 // back to SQL; cause says why.
+//
+//kws:hotpath
 func (e *Evaluator) Probe(node *lattice.Node, keywords []string, key string) (alive, ok bool, cause string) {
 	p := e.plan(node, keywords, key)
 	if !p.ok {
@@ -169,7 +171,7 @@ func (e *Evaluator) Probe(node *lattice.Node, keywords []string, key string) (al
 	alive, ok, cause = e.evaluate(p)
 	if !ok {
 		e.fallbacks.Add(1)
-		mFallbacks.With(cause).Inc()
+		cChurnFallback.Inc()
 		return false, false, cause
 	}
 	p.memo.Store(&verdictMemo{seq: seq, stamp: stamp, alive: alive})
@@ -487,6 +489,8 @@ func (s *evalScratch) release() {
 // bounded child, an existing chain in every free child). The node is alive
 // iff some root candidate row has that property — which the final loop
 // checks with an early exit on the first survivor.
+//
+//kws:hotpath
 func (e *Evaluator) evaluate(p *plan) (alive, ok bool, cause string) {
 	sc := scratchPool.Get().(*evalScratch)
 	sc.reset(len(p.verts))

@@ -24,4 +24,9 @@ var (
 var (
 	cMemoHit  = mProbes.With("memo_hit")
 	cComputed = mProbes.With("computed")
+
+	// cChurnFallback is the one fallback cause Probe can hit after planning
+	// succeeded (evaluate's only decline is candidate-set churn); plan-time
+	// causes are resolved per-plan at compile (see plan.cFallback).
+	cChurnFallback = mFallbacks.With("candset_churn")
 )

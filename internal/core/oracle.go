@@ -231,6 +231,8 @@ func (o *preparedOracle) warmBatch(nodeIDs []int) {
 }
 
 // IsAlive implements Oracle.
+//
+//kws:hotpath
 func (o *preparedOracle) IsAlive(nodeID int) (bool, error) {
 	var key string
 	if o.cache != nil || o.fl != nil {

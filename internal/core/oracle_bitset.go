@@ -50,6 +50,8 @@ func (o *bitsetOracle) warmBatch(nodeIDs []int) {
 }
 
 // IsAlive implements Oracle.
+//
+//kws:hotpath
 func (o *bitsetOracle) IsAlive(nodeID int) (bool, error) {
 	key := o.probeKey(nodeID)
 	suspect := false

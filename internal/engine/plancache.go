@@ -3,6 +3,8 @@ package engine
 import (
 	"container/list"
 	"sync"
+
+	"kwsdbg/internal/obs"
 )
 
 // DefaultPlanCacheSize is the entry bound used when a cache's size has not
@@ -33,6 +35,12 @@ type PreparedCache struct {
 
 	// hits, misses, and evictions feed Stats. guarded by mu.
 	hits, misses, evictions int64
+
+	// Metric children are resolved once at construction: path is fixed per
+	// instance, and Get sits on the per-probe hot path where Vec.With's
+	// lock-and-label-key resolution costs ~2 allocations per call.
+	mHits, mMisses, mEvictions *obs.Counter
+	mEntries                   *obs.Gauge
 }
 
 type planEntry struct {
@@ -43,22 +51,33 @@ type planEntry struct {
 // NewPreparedCache returns an LRU bounded to max entries, reporting metrics
 // under the given path label.
 func NewPreparedCache(max int, path string) *PreparedCache {
-	return &PreparedCache{path: path, max: max, ll: list.New(), items: make(map[string]*list.Element)}
+	return &PreparedCache{
+		path:       path,
+		max:        max,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		mHits:      mPlanCacheHits.With(path),
+		mMisses:    mPlanCacheMisses.With(path),
+		mEvictions: mPlanCacheEvictions.With(path),
+		mEntries:   mPlanCacheEntries.With(path),
+	}
 }
 
 // Get returns the cached handle for key, or nil.
+//
+//kws:hotpath
 func (c *PreparedCache) Get(key string) *Prepared {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		c.misses++
-		mPlanCacheMisses.With(c.path).Inc()
+		c.mMisses.Inc()
 		return nil
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
-	mPlanCacheHits.With(c.path).Inc()
+	c.mHits.Inc()
 	return el.Value.(*planEntry).p
 }
 
@@ -79,7 +98,7 @@ func (c *PreparedCache) Put(key string, p *Prepared) {
 	for c.max > 0 && c.ll.Len() > c.max {
 		c.evictOldestLocked()
 	}
-	mPlanCacheEntries.With(c.path).Set(float64(c.ll.Len()))
+	c.mEntries.Set(float64(c.ll.Len()))
 }
 
 func (c *PreparedCache) evictOldestLocked() {
@@ -90,7 +109,7 @@ func (c *PreparedCache) evictOldestLocked() {
 	c.ll.Remove(el)
 	delete(c.items, el.Value.(*planEntry).key)
 	c.evictions++
-	mPlanCacheEvictions.With(c.path).Inc()
+	c.mEvictions.Inc()
 }
 
 // Resize rebounds the cache, evicting down to the new max immediately. Zero
@@ -106,7 +125,7 @@ func (c *PreparedCache) Resize(max int) {
 	for max > 0 && c.ll.Len() > max {
 		c.evictOldestLocked()
 	}
-	mPlanCacheEntries.With(c.path).Set(float64(c.ll.Len()))
+	c.mEntries.Set(float64(c.ll.Len()))
 }
 
 // Purge drops every entry but keeps the bound; benchmarks use it to measure
@@ -116,7 +135,7 @@ func (c *PreparedCache) Purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
-	mPlanCacheEntries.With(c.path).Set(0)
+	c.mEntries.Set(0)
 }
 
 // Len returns the current entry count.

@@ -1,0 +1,23 @@
+package invidx
+
+import (
+	"testing"
+
+	"kwsdbg/internal/clock"
+)
+
+// lookupMetrics.record is //kws:hotpath: it runs once per keyword binding
+// and once per row probe. The children are pre-resolved at init precisely so
+// the hot path is an atomic add plus a histogram observe — this pins that at
+// zero allocations. (The central manifest walk in internal/core defers to
+// this test because the receiver is unexported.)
+func TestLookupRecordAllocFree(t *testing.T) {
+	start := clock.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		lookupTables.record(start, true)
+		lookupRows.record(start, false)
+	})
+	if allocs != 0 {
+		t.Errorf("lookupMetrics.record allocates %v per call, want 0", allocs)
+	}
+}

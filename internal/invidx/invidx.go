@@ -138,7 +138,7 @@ func (ix *Index) Tables(keyword string) []string {
 	for _, tok := range toks[1:] {
 		result = intersectStrings(result, ix.tablesByTerm[tok])
 	}
-	recordLookup("tables", start, len(result) > 0)
+	lookupTables.record(start, len(result) > 0)
 	// Copy: callers may retain the slice.
 	out := make([]string, len(result))
 	copy(out, result)
@@ -203,7 +203,7 @@ func lookup(cp columnPostings, keyword string) []storage.RowID {
 	for _, tok := range toks[1:] {
 		result = IntersectRowIDs(result, cp[tok])
 	}
-	recordLookup("rows", start, len(result) > 0)
+	lookupRows.record(start, len(result) > 0)
 	out := make([]storage.RowID, len(result))
 	copy(out, result)
 	return out

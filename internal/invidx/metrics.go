@@ -24,12 +24,37 @@ var (
 		"Distinct terms in the last built index.")
 )
 
-// recordLookup accounts one lookup; hit reports whether it returned postings.
-func recordLookup(op string, start time.Time, hit bool) {
-	result := "miss"
-	if hit {
-		result = "hit"
+// lookupMetrics is one operation's pre-resolved metric children. Vec.With
+// resolves a child through a lock and a label-key build — ~2 allocations per
+// call — and recordLookup runs once per keyword binding and once per row
+// probe, so the op/result label space (2×2 counters, 2 histograms) is
+// resolved once at init and the hot path pays an atomic add and an observe.
+type lookupMetrics struct {
+	hit, miss *obs.Counter
+	seconds   *obs.Histogram
+}
+
+var (
+	lookupTables = lookupMetrics{
+		hit:     mLookups.With("tables", "hit"),
+		miss:    mLookups.With("tables", "miss"),
+		seconds: mLookupSeconds.With("tables"),
 	}
-	mLookups.With(op, result).Inc()
-	mLookupSeconds.With(op).Observe(clock.Since(start).Seconds())
+	lookupRows = lookupMetrics{
+		hit:     mLookups.With("rows", "hit"),
+		miss:    mLookups.With("rows", "miss"),
+		seconds: mLookupSeconds.With("rows"),
+	}
+)
+
+// record accounts one lookup; hit reports whether it returned postings.
+//
+//kws:hotpath
+func (m lookupMetrics) record(start time.Time, hit bool) {
+	c := m.miss
+	if hit {
+		c = m.hit
+	}
+	c.Inc()
+	m.seconds.Observe(clock.Since(start).Seconds())
 }

@@ -1,0 +1,383 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a complete function declaration) and builds its CFG.
+func buildFunc(t *testing.T, src string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatalf("no function in source")
+	return nil, nil
+}
+
+func checkGolden(t *testing.T, src, want string) *Graph {
+	t.Helper()
+	g, fset := buildFunc(t, src)
+	got := strings.TrimSpace(g.String(fset))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("graph mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	return g
+}
+
+func TestIfGraph(t *testing.T) {
+	checkGolden(t, `
+func f(x int) int {
+	if x > 0 {
+		return 1
+	}
+	return 2
+}`, `
+b0 entry: [if x > 0] -> b1 b2
+b1 if.then: [return 1] -> b5
+b2 if.done: [return 2] -> b5
+b5 exit:
+`)
+}
+
+func TestIfElseGraph(t *testing.T) {
+	checkGolden(t, `
+func f(x int) int {
+	v := 0
+	if x > 0 {
+		v = 1
+	} else {
+		v = 2
+	}
+	return v
+}`, `
+b0 entry: [v := 0] [if x > 0] -> b1 b3
+b1 if.then: [v = 1] -> b2
+b2 if.done: [return v] -> b5
+b3 if.else: [v = 2] -> b2
+b5 exit:
+`)
+}
+
+func TestForGraph(t *testing.T) {
+	g := checkGolden(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i%2 == 0 {
+			continue
+		}
+		work(i)
+	}
+}`, `
+b0 entry: [i := 0] -> b1
+b1 for.head: [for i < n] -> b2 b3
+b2 for.body: [if i == 3] -> b5 b6
+b3 for.done: -> b11
+b4 for.post: [i++] -> b1
+b5 if.then: [break] -> b3
+b6 if.done: [if i%2 == 0] -> b8 b9
+b8 if.then: [continue] -> b4
+b9 if.done: [work(i)] -> b4
+b11 exit:
+`)
+
+	loops := g.LoopBlocks()
+	inLoop := map[string]bool{}
+	for b := range loops {
+		inLoop[b.Kind] = true
+	}
+	for _, kind := range []string{"for.head", "for.body", "for.post"} {
+		if !inLoop[kind] {
+			t.Errorf("LoopBlocks: %s not marked as loop body", kind)
+		}
+	}
+	if inLoop["entry"] || inLoop["for.done"] || inLoop["exit"] {
+		t.Errorf("LoopBlocks over-marks: %v", inLoop)
+	}
+}
+
+func TestInfiniteForHasNoExitEdge(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f() {
+	for {
+		work(0)
+	}
+}`)
+	for _, b := range g.Reachable() {
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				t.Fatalf("for {} should not reach exit, but b%d does", b.Index)
+			}
+		}
+	}
+}
+
+func TestRangeGraph(t *testing.T) {
+	g := checkGolden(t, `
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, `
+b0 entry: [s := 0] -> b1
+b1 range.head: [range xs] -> b2 b3
+b2 range.body: [s += x] -> b1
+b3 range.done: [return s] -> b5
+b5 exit:
+`)
+	loops := g.LoopBlocks()
+	for b := range loops {
+		if b.Kind == "range.done" || b.Kind == "entry" {
+			t.Errorf("LoopBlocks over-marks %s", b.Kind)
+		}
+	}
+}
+
+func TestSwitchGraph(t *testing.T) {
+	checkGolden(t, `
+func f(k int) string {
+	switch k {
+	case 1:
+		return "one"
+	case 2:
+		fallthrough
+	case 3:
+		return "few"
+	default:
+		return "many"
+	}
+}`, `
+b0 entry: [switch k] -> b2 b3 b4 b5
+b2 switch.case: [return "one"] -> b9
+b3 switch.case: [fallthrough] -> b4
+b4 switch.case: [return "few"] -> b9
+b5 switch.case: [return "many"] -> b9
+b9 exit:
+`)
+}
+
+func TestSwitchNoDefaultFallsPast(t *testing.T) {
+	// Without a default clause control may skip every case.
+	g, _ := buildFunc(t, `
+func f(k int) {
+	switch k {
+	case 1:
+		work(1)
+	}
+	work(2)
+}`)
+	var entry, done *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "entry":
+			entry = b
+		case "switch.done":
+			done = b
+		}
+	}
+	found := false
+	for _, s := range entry.Succs {
+		if s == done {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("switch without default must have an entry -> done edge")
+	}
+}
+
+func TestDeferCapture(t *testing.T) {
+	g := checkGolden(t, `
+func f(mu locker) {
+	mu.Lock()
+	defer mu.Unlock()
+	work(1)
+}`, `
+b0 entry: [mu.Lock()] [defer mu.Unlock()] [work(1)] -> b1
+b1 exit:
+`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+}
+
+func TestPanicEndsBlockWithoutExitEdge(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(x int) {
+	if x < 0 {
+		panic("negative")
+	}
+	work(x)
+}`)
+	for _, b := range g.Reachable() {
+		if b.Kind != "if.then" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if s == g.Exit {
+				t.Fatalf("panic block must not flow to exit")
+			}
+		}
+		return
+	}
+	t.Fatalf("if.then block not reachable")
+}
+
+func TestSelectGraph(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(ch chan int, done chan struct{}) {
+	select {
+	case v := <-ch:
+		work(v)
+	case <-done:
+		return
+	}
+	work(0)
+}`)
+	cases := 0
+	for _, b := range g.Reachable() {
+		if b.Kind == "select.case" {
+			cases++
+		}
+	}
+	if cases != 2 {
+		t.Fatalf("got %d select.case blocks, want 2", cases)
+	}
+}
+
+func TestGotoGraph(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(n int) {
+	i := 0
+top:
+	if i < n {
+		i++
+		goto top
+	}
+}`)
+	// The goto creates a cycle, so the labeled block is in a loop.
+	loops := g.LoopBlocks()
+	found := false
+	for b := range loops {
+		if b.Kind == "label.top" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("goto cycle not detected by LoopBlocks")
+	}
+}
+
+// assignLattice is a must-assign analysis used to exercise Forward: the fact
+// is the set of names definitely assigned on every path, joined by
+// intersection. It reads only top-level assignments in each block.
+type assignLattice struct{}
+
+func (assignLattice) Entry() map[string]bool { return map[string]bool{} }
+
+func (assignLattice) Join(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (assignLattice) Equal(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (assignLattice) Transfer(b *Block, in map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for k := range in {
+		out[k] = true
+	}
+	for _, s := range b.Stmts {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				out[id.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func factAt(t *testing.T, facts map[*Block]map[string]bool, g *Graph) map[string]bool {
+	t.Helper()
+	f, ok := facts[g.Exit]
+	if !ok {
+		t.Fatalf("no fact at exit")
+	}
+	return f
+}
+
+func TestForwardBranchJoin(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(c bool) {
+	a := 1
+	if c {
+		b := 2
+		use(b)
+	}
+	d := 3
+	use(a, d)
+}`)
+	facts := Forward[map[string]bool](g, assignLattice{})
+	f := factAt(t, facts, g)
+	if !f["a"] || !f["d"] {
+		t.Errorf("a and d must be definitely assigned at exit; got %v", f)
+	}
+	if f["b"] {
+		t.Errorf("b is branch-only and must not survive the join; got %v", f)
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	g, _ := buildFunc(t, `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		x := 1
+		use(x)
+	}
+	y := 2
+	use(y)
+}`)
+	facts := Forward[map[string]bool](g, assignLattice{})
+	f := factAt(t, facts, g)
+	if !f["i"] || !f["y"] {
+		t.Errorf("i and y must be definitely assigned at exit; got %v", f)
+	}
+	if f["x"] {
+		t.Errorf("x is loop-body-only and must not reach exit (zero iterations); got %v", f)
+	}
+}

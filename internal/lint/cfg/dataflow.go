@@ -1,0 +1,157 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Lattice defines one forward dataflow problem over facts of type F. Facts
+// must be treated as immutable by Transfer and Join: the fixpoint engine
+// caches and compares them across iterations.
+type Lattice[F any] interface {
+	// Entry is the fact holding at function entry.
+	Entry() F
+	// Join merges the facts arriving over two incoming edges.
+	Join(a, b F) F
+	// Equal reports whether two facts carry the same information; the
+	// fixpoint terminates when every block's input stops changing.
+	Equal(a, b F) bool
+	// Transfer pushes a fact through one block's statements.
+	Transfer(b *Block, in F) F
+}
+
+// Forward runs a forward fixpoint and returns each reachable block's input
+// fact (the join over its incoming edges; Entry() for the entry block). The
+// worklist is processed in block-index order, so iteration — and therefore
+// any diagnostics emitted from a deterministic Transfer — is deterministic.
+func Forward[F any](g *Graph, lat Lattice[F]) map[*Block]F {
+	reach := g.Reachable()
+	inSet := make(map[*Block]bool, len(reach))
+	for _, b := range reach {
+		inSet[b] = true
+	}
+
+	in := make(map[*Block]F, len(reach))
+	out := make(map[*Block]F, len(reach))
+	seeded := make(map[*Block]bool, len(reach))
+	in[g.Entry] = lat.Entry()
+	seeded[g.Entry] = true
+
+	work := make([]*Block, len(reach))
+	copy(work, reach)
+	queued := make(map[*Block]bool, len(reach))
+	for _, b := range work {
+		queued[b] = true
+	}
+
+	for len(work) > 0 {
+		// Pop the lowest-index queued block: deterministic and close to
+		// reverse postorder for the builder's creation order.
+		sort.Slice(work, func(i, j int) bool { return work[i].Index < work[j].Index })
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		fact, have := in[b], seeded[b]
+		for _, p := range b.Preds {
+			if !inSet[p] {
+				continue // edge from unreachable code
+			}
+			pf, ok := out[p]
+			if !ok {
+				continue // predecessor not transferred yet
+			}
+			if !have {
+				fact, have = pf, true
+			} else {
+				fact = lat.Join(fact, pf)
+			}
+		}
+		if !have {
+			continue
+		}
+		if old, ok := in[b]; !ok || !lat.Equal(old, fact) || !doneOnce(out, b) {
+			in[b] = fact
+			seeded[b] = true
+			o := lat.Transfer(b, fact)
+			if oldOut, ok := out[b]; ok && lat.Equal(oldOut, o) {
+				continue
+			}
+			out[b] = o
+			for _, s := range b.Succs {
+				if inSet[s] && !queued[s] {
+					queued[s] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+	return in
+}
+
+func doneOnce[F any](out map[*Block]F, b *Block) bool {
+	_, ok := out[b]
+	return ok
+}
+
+// String renders the graph for golden tests and debugging: one line per
+// reachable block with its kind, statements, and successor indexes.
+func (g *Graph) String(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Reachable() {
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Kind)
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, " [%s]", stmtText(fset, s))
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// stmtText renders one statement compactly: control statements show only
+// their header, bodies are elided (they live in successor blocks).
+func stmtText(fset *token.FileSet, s ast.Stmt) string {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return "if " + exprString(fset, s.Cond)
+	case *ast.ForStmt:
+		if s.Cond == nil {
+			return "for"
+		}
+		return "for " + exprString(fset, s.Cond)
+	case *ast.RangeStmt:
+		return "range " + exprString(fset, s.X)
+	case *ast.SwitchStmt:
+		if s.Tag == nil {
+			return "switch"
+		}
+		return "switch " + exprString(fset, s.Tag)
+	case *ast.TypeSwitchStmt:
+		return "type-switch"
+	case *ast.SelectStmt:
+		return "select"
+	}
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, s); err != nil {
+		return fmt.Sprintf("<%T>", s)
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return fmt.Sprintf("<%T>", e)
+	}
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

@@ -54,14 +54,19 @@ var Analyzer = &analysis.Analyzer{
 // lists must never inherit map order. bitset and core/bitprobe are scoped
 // because they *are* a probe path — their verdicts must be a pure function
 // of the data, with no clock reads and no map iteration at all on the hot
-// path.
+// path. vervec is scoped because version stamps decide verdict staleness,
+// and storage because snapshot contents and index posting lists feed every
+// probe. engine and server are deliberately out of scope: their time.Now /
+// timer reads are service-edge measurements (retry backoff, admission
+// deadlines, HTTP latency) — wall-clock there is the feature, not a leak.
 var Scope = func(pkgPath string) bool {
 	switch pkgPath {
 	case "kwsdbg/internal/core", "kwsdbg/internal/lattice",
 		"kwsdbg/internal/report", "kwsdbg/internal/sqltext",
 		"kwsdbg/internal/obs", "kwsdbg/internal/obs/flight",
 		"kwsdbg/internal/probecache", "kwsdbg/internal/invidx",
-		"kwsdbg/internal/bitset", "kwsdbg/internal/core/bitprobe":
+		"kwsdbg/internal/bitset", "kwsdbg/internal/core/bitprobe",
+		"kwsdbg/internal/vervec", "kwsdbg/internal/storage":
 		return true
 	}
 	return false

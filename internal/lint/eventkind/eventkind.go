@@ -1,0 +1,228 @@
+// Package eventkind keeps the flight-recorder Kind enum, its wire names,
+// its generated registry, and every consumer switch in lockstep.
+//
+// The flight recorder's Kind enum is the schema of the probe-provenance
+// ledger: String() feeds wire names from the kindNames table, cmd/obsgen
+// emits a KindRegistry for docs and tooling, and kwstrace classifies events
+// by switching over Kind. Each of those surfaces can silently fall behind
+// when a kind is added — the event records fine and then prints "unknown",
+// vanishes from the registry, or slips through an analyzer switch into the
+// wrong bucket. This analyzer closes the loop, obsgen-style:
+//
+//   - in the flight package itself (FlightPath, overridable for fixtures),
+//     every exported Kind constant must have a kindNames entry and appear
+//     in the generated KindRegistry;
+//   - in any package, a switch over the flight Kind type that has no
+//     default clause must list every kind. A default clause is the
+//     explicit opt-out: it says "everything else goes here" on purpose.
+package eventkind
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kwsdbg/internal/lint/analysis"
+)
+
+// FlightPath is the import path of the package that declares the Kind enum;
+// a var so fixture tests can point it at a miniature copy.
+var FlightPath = "kwsdbg/internal/obs/flight"
+
+// Analyzer is the flight-kind exhaustiveness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventkind",
+	Doc: "every flight Kind constant needs a kindNames entry and a KindRegistry " +
+		"row; switches over Kind without a default must cover every kind",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == FlightPath {
+		checkDeclarations(pass)
+	}
+	checkSwitches(pass)
+	return nil
+}
+
+// kindConsts lists the exported constants of the Kind type declared in
+// scope, in declaration (value) order. The unexported count sentinel
+// (numKinds) is excluded by the export filter.
+func kindConsts(kind *types.Named) []*types.Const {
+	scope := kind.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), kind) {
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}
+
+// flightKind resolves t to the flight Kind named type, or nil.
+func flightKind(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Kind" {
+		return nil
+	}
+	if pkg := named.Obj().Pkg(); pkg == nil || pkg.Path() != FlightPath {
+		return nil
+	}
+	return named
+}
+
+// checkDeclarations verifies kindNames and KindRegistry coverage inside the
+// flight package itself.
+func checkDeclarations(pass *analysis.Pass) {
+	kindObj, ok := pass.Pkg.Scope().Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	kind, ok := kindObj.Type().(*types.Named)
+	if !ok {
+		return
+	}
+
+	named := identKeys(pass, "kindNames")
+	registry, haveRegistry := compositeRefs(pass, "KindRegistry")
+
+	for _, c := range kindConsts(kind) {
+		if !named[c.Name()] {
+			pass.Reportf(c.Pos(),
+				"flight Kind %s has no kindNames entry: String() will report it as %q", c.Name(), "unknown")
+		}
+		if haveRegistry && !registry[c.Name()] {
+			pass.Reportf(c.Pos(),
+				"flight Kind %s is missing from the generated KindRegistry; run `go generate ./internal/obs`", c.Name())
+		}
+	}
+	if !haveRegistry {
+		pass.Reportf(kindObj.Pos(),
+			"package %s declares Kind but no KindRegistry; run `go generate ./internal/obs` to create it", pass.Pkg.Path())
+	}
+}
+
+// identKeys collects the key identifiers of the named variable's composite
+// literal ({KindUnknown: "unknown", ...}).
+func identKeys(pass *analysis.Pass, varName string) map[string]bool {
+	out := map[string]bool{}
+	lit := varLiteral(pass, varName)
+	if lit == nil {
+		return out
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+// compositeRefs collects every identifier referenced anywhere inside the
+// named variable's composite literal; the generated registry mentions each
+// kind constant exactly once.
+func compositeRefs(pass *analysis.Pass, varName string) (map[string]bool, bool) {
+	lit := varLiteral(pass, varName)
+	if lit == nil {
+		return nil, false
+	}
+	out := map[string]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out, true
+}
+
+// varLiteral finds `var <name> = <composite literal>` in the package files.
+func varLiteral(pass *analysis.Pass, name string) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSwitches enforces case coverage on default-less switches over Kind.
+func checkSwitches(pass *analysis.Pass) {
+	pass.Inspect(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(sw.Tag)
+		if t == nil {
+			return true
+		}
+		kind := flightKind(t)
+		if kind == nil {
+			return true
+		}
+
+		covered := map[string]bool{}
+		hasDefault := false
+		for _, cc := range sw.Body.List {
+			clause := cc.(*ast.CaseClause)
+			if clause.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range clause.List {
+				switch e := e.(type) {
+				case *ast.Ident:
+					covered[e.Name] = true
+				case *ast.SelectorExpr:
+					covered[e.Sel.Name] = true
+				}
+			}
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for _, c := range kindConsts(kind) {
+			if !covered[c.Name()] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(sw.Pos(),
+				"switch over flight Kind has no default and misses %s; add the cases or an explicit default",
+				strings.Join(missing, ", "))
+		}
+		return true
+	})
+}

@@ -1,0 +1,30 @@
+package eventkind_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/eventkind"
+	"kwsdbg/internal/lint/linttest"
+)
+
+func TestEventkindFixture(t *testing.T) {
+	old := eventkind.FlightPath
+	eventkind.FlightPath = "kwsdbg/lintfixture/kind"
+	defer func() { eventkind.FlightPath = old }()
+	linttest.Run(t, eventkind.Analyzer, "testdata/kind")
+}
+
+func TestMissingRegistryReported(t *testing.T) {
+	old := eventkind.FlightPath
+	eventkind.FlightPath = "kwsdbg/lintfixture/noreg"
+	defer func() { eventkind.FlightPath = old }()
+	linttest.Run(t, eventkind.Analyzer, "testdata/noreg")
+}
+
+// TestDefaultFlightPath pins the production enum location: if the flight
+// package moves, the analyzer must move with it.
+func TestDefaultFlightPath(t *testing.T) {
+	if got, want := eventkind.FlightPath, "kwsdbg/internal/obs/flight"; got != want {
+		t.Fatalf("FlightPath = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,72 @@
+// Package kind is the eventkind fixture: a miniature flight Kind enum with
+// one constant missing from both coverage tables, plus exhaustive and
+// non-exhaustive consumer switches.
+package kind
+
+// Kind mirrors the flight recorder's event-kind enum.
+type Kind uint8
+
+const (
+	KindUnknown Kind = iota
+	Admit
+	Verdict
+	Orphan // want `flight Kind Orphan has no kindNames entry` `flight Kind Orphan is missing from the generated KindRegistry`
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindUnknown: "unknown",
+	Admit:       "admit",
+	Verdict:     "verdict",
+}
+
+// KindRegistry mirrors the obsgen-generated table.
+var KindRegistry = []struct {
+	Kind Kind
+	Name string
+}{
+	{KindUnknown, "unknown"},
+	{Admit, "admit"},
+	{Verdict, "verdict"},
+}
+
+// String uses kindNames like the real package does.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// classify has no default and misses Orphan: the drift the rule exists for.
+func classify(k Kind) string {
+	switch k { // want `switch over flight Kind has no default and misses Orphan`
+	case KindUnknown:
+		return "u"
+	case Admit:
+		return "a"
+	case Verdict:
+		return "v"
+	}
+	return ""
+}
+
+// classifyDefault opts out explicitly with a default clause: clean.
+func classifyDefault(k Kind) string {
+	switch k {
+	case Admit:
+		return "a"
+	default:
+		return ""
+	}
+}
+
+// exhaustive lists every kind: clean without a default.
+func exhaustive(k Kind) string {
+	switch k {
+	case KindUnknown, Admit, Verdict, Orphan:
+		return k.String()
+	}
+	return ""
+}

@@ -1,0 +1,22 @@
+// Package noreg is the eventkind fixture for a Kind enum whose generated
+// registry has never been created: the analyzer demands a go generate run.
+package noreg
+
+type Kind uint8 // want `declares Kind but no KindRegistry`
+
+const (
+	KindUnknown Kind = iota
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindUnknown: "unknown",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}

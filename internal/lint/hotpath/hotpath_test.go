@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/hotpath"
+	"kwsdbg/internal/lint/linttest"
+)
+
+func TestHotpathFixture(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "testdata/hot")
+}

@@ -1,0 +1,86 @@
+// Package hot is the hotpath fixture: annotated functions that respect the
+// allocation contract, each forbidden construct, and proof that unannotated
+// functions are left alone.
+package hot
+
+import (
+	"fmt"
+	"reflect"
+
+	"kwsdbg/internal/obs"
+)
+
+// vec exists so the fixture can exercise the *Vec.With rule against the
+// real obs types. The fixture is type-checked, never run.
+var vec = obs.Default.CounterVec("lintfixture_hits_total", "fixture counter.", "op")
+
+var hit = vec.With("probe")
+
+//kws:hotpath
+func probe(keys []string) int {
+	n := 0
+	for _, k := range keys {
+		n += len(k)
+	}
+	hit.Inc()
+	return n
+}
+
+// errs may format in an error return: the error path is cold.
+//
+//kws:hotpath
+func errs(v int) error {
+	if v < 0 {
+		return fmt.Errorf("negative: %d", v)
+	}
+	return nil
+}
+
+//kws:hotpath
+func logs(v int) {
+	fmt.Println(v) // want `logs is .*hotpath but calls fmt\.Println outside an error return`
+}
+
+//kws:hotpath
+func sprintfs(v int) string {
+	s := fmt.Sprintf("%d", v) // want `sprintfs is .*hotpath but calls fmt\.Sprintf`
+	return s
+}
+
+//kws:hotpath
+func reflects(v any) string {
+	return reflect.TypeOf(v).String() // want `reflects is .*hotpath but uses reflect\.TypeOf`
+}
+
+//kws:hotpath
+func counts(op string) {
+	vec.With(op).Inc() // want `counts is .*hotpath but resolves a metric child with vec\.With`
+}
+
+//kws:hotpath
+func concats(keys []string) string {
+	s := ""
+	for _, k := range keys {
+		s += k // want `concats is .*hotpath but builds a string inside a loop`
+	}
+	return s
+}
+
+//kws:hotpath
+func ranges(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `ranges is .*hotpath but ranges over a map`
+		n += v
+	}
+	return n
+}
+
+// cold is unannotated: fmt, maps, and With are all fine here.
+func cold(m map[string]int) string {
+	s := ""
+	for k, v := range m {
+		s += fmt.Sprintf("%s=%d;", k, v)
+	}
+	vec.With("cold").Inc()
+	return s
+}

@@ -1,0 +1,169 @@
+// Package leakcheck requires join or cancellation evidence for every `go`
+// statement.
+//
+// A goroutine with no path to termination is a leak: it pins its stack and
+// captures forever, and — worse for a debugger whose verdicts must be
+// reproducible — it keeps mutating shared state after the work that spawned
+// it has "finished". This analyzer accepts a goroutine only when its body
+// carries one of the repo's termination idioms:
+//
+//   - it calls Done on a sync.WaitGroup (the scheduler / lattice-generator
+//     join pattern),
+//   - it consults ctx.Done() on a context.Context (cancellation-bound
+//     select loops, server drain),
+//   - it ranges over a channel (terminates when the producer closes it),
+//   - it sends on or closes a channel (single-flight result delivery, the
+//     errCh pattern: the goroutine ends after handing off its result).
+//
+// `go f(...)` with a same-package named callee is checked one level deep
+// against f's body. Anything else needs an explicit
+// `//lint:ignore kwslint/leakcheck <reason>` — a process-lifetime listener
+// is fine, but the reason has to be written down.
+package leakcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kwsdbg/internal/lint/analysis"
+)
+
+// Analyzer is the goroutine-leak evidence checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "leakcheck",
+	Doc: "every `go` statement needs join/cancel evidence: WaitGroup Done, " +
+		"ctx.Done, channel range/send/close, or an explicit ignore with reason",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	bodies := declBodies(pass)
+	pass.Inspect(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !hasEvidence(pass, bodies, gs) {
+			pass.Reportf(gs.Pos(),
+				"goroutine has no join or cancellation evidence (WaitGroup Done, ctx.Done, "+
+					"channel range/send/close); bound its lifetime or //lint:ignore kwslint/leakcheck with a reason")
+		}
+		return true
+	})
+	return nil
+}
+
+// declBodies indexes this package's function declarations by object, so
+// `go f(...)` can be checked against f's body.
+func declBodies(pass *analysis.Pass) map[types.Object]*ast.BlockStmt {
+	out := map[types.Object]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+				out[obj] = fd.Body
+			}
+		}
+	}
+	return out
+}
+
+func hasEvidence(pass *analysis.Pass, bodies map[types.Object]*ast.BlockStmt, gs *ast.GoStmt) bool {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return bodyEvidence(pass, fl.Body)
+	}
+	if obj := calleeObject(pass, gs.Call.Fun); obj != nil {
+		if body, ok := bodies[obj]; ok {
+			return bodyEvidence(pass, body)
+		}
+	}
+	// Method value, cross-package function, or computed callee: the body is
+	// out of reach, so the call site must carry an ignore directive.
+	return false
+}
+
+// calleeObject resolves `go f(...)` / `go pkg.f(...)` to the function object.
+func calleeObject(pass *analysis.Pass, fun ast.Expr) types.Object {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// bodyEvidence scans a goroutine body for any accepted termination idiom.
+func bodyEvidence(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupDone(pass, n) || isCtxDone(pass, n) || isClose(pass, n) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupDone matches wg.Done() where wg is a sync.WaitGroup.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return namedTypeIs(pass.TypesInfo.TypeOf(sel.X), "sync", "WaitGroup")
+}
+
+// isCtxDone matches ctx.Done() where ctx is a context.Context; a select over
+// <-ctx.Done() is the canonical cancellation-bound loop.
+func isCtxDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return namedTypeIs(pass.TypesInfo.TypeOf(sel.X), "context", "Context")
+}
+
+// isClose matches the builtin close(ch).
+func isClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}

@@ -1,0 +1,12 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"kwsdbg/internal/lint/leakcheck"
+	"kwsdbg/internal/lint/linttest"
+)
+
+func TestLeakcheckFixture(t *testing.T) {
+	linttest.Run(t, leakcheck.Analyzer, "testdata/leak")
+}

@@ -1,0 +1,93 @@
+// Package leak is the leakcheck fixture: each accepted termination idiom,
+// the unbounded goroutines the analyzer exists to catch, and the ignore
+// escape hatch.
+package leak
+
+import (
+	"context"
+	"sync"
+)
+
+func work(int)   {}
+func run() error { return nil }
+func forever() {
+	for {
+		work(1)
+	}
+}
+func pump(ch chan int) {
+	for v := range ch {
+		work(v)
+	}
+}
+
+// waits joins through a WaitGroup: clean.
+func waits(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(i)
+		}()
+	}
+	wg.Wait()
+}
+
+// cancellable is bound to ctx cancellation: clean.
+func cancellable(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				work(v)
+			}
+		}
+	}()
+}
+
+// drains terminates when the producer closes the channel: clean.
+func drains(ch chan int) {
+	go func() {
+		for v := range ch {
+			work(v)
+		}
+	}()
+}
+
+// delivers ends after handing off its single result: clean.
+func delivers() chan error {
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run()
+	}()
+	return errCh
+}
+
+// spawnsWorker starts a named same-package function; its body is checked
+// one level deep and ranges over the channel: clean.
+func spawnsWorker(ch chan int) {
+	go pump(ch)
+}
+
+// leaky spins forever with no join or cancellation path.
+func leaky() {
+	go func() { // want `goroutine has no join or cancellation evidence`
+		for {
+			work(0)
+		}
+	}()
+}
+
+// spawnsForever leaks through a named callee.
+func spawnsForever() {
+	go forever() // want `goroutine has no join or cancellation evidence`
+}
+
+// listener documents why its goroutine may outlive the caller.
+func listener() {
+	//lint:ignore kwslint/leakcheck process-lifetime listener by design
+	go forever()
+}

@@ -1,0 +1,419 @@
+// Package lockflow checks Lock/Unlock balance along every control-flow path
+// and accumulates a cross-package lock-acquisition-order graph.
+//
+// lockcheck (PR 5) verifies that guarded fields are touched under *some*
+// acquisition of the named mutex; it cannot see an early return that skips
+// the Unlock, because it reads methods as bags of statements. lockflow runs
+// the cfg engine instead: a must-held lattice (a lock is in the fact only if
+// every path to this point acquired it and has not released it) flows
+// forward, deferred unlocks — including unlocks inside deferred function
+// literals — count as releases on every exit, and any return or fall-off end
+// still holding a non-deferred lock is reported. Intersection join means a
+// conditionally-acquired lock is never reported, trading false negatives for
+// silence — the right bias for a gate that blocks `make verify`.
+//
+// The same walk feeds a process-global acquisition-order graph: acquiring B
+// while holding A adds the edge A→B, where A and B are stable cross-package
+// identifiers ("pkg.Type.field" for struct mutexes, "pkg.var" for
+// package-level ones — the same mutexes `guarded by` annotations name).
+// An edge that closes a cycle is a lock-order inversion — two goroutines
+// taking the same pair in opposite orders can deadlock — and is reported at
+// the acquisition that closes it. Local mutex variables have no stable
+// identity and stay out of the graph.
+package lockflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kwsdbg/internal/lint/analysis"
+	"kwsdbg/internal/lint/cfg"
+)
+
+// Analyzer is the path-sensitive lock balance and ordering checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockflow",
+	Doc: "every mutex acquired must be released on all exit paths or via defer; " +
+		"nested acquisitions must agree on a global lock order (deadlock risk)",
+	Run: run,
+}
+
+// orderEdges is the cross-package acquisition-order graph: from -> to -> the
+// position of one acquisition that witnessed the edge. It accumulates across
+// every package the driver runs, which is the point: an A→B edge in storage
+// and a B→A edge in server is a deadlock neither package can see alone.
+var orderEdges = map[string]map[string]token.Pos{}
+
+// ResetForTest clears the accumulated order graph between fixture runs.
+func ResetForTest() { orderEdges = map[string]map[string]token.Pos{} }
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Name.Name, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, fd.Name.Name+": func literal", fl.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// fact is the must-held lock state at a program point.
+type fact struct {
+	// held maps a lock key to the position of its acquisition. Keys are the
+	// source path of the locked expression ("c.mu"), prefixed "R:" for read
+	// locks so RLock/RUnlock balance independently of Lock/Unlock.
+	held map[string]token.Pos
+	// deferred marks locks whose release is scheduled by a defer on every
+	// path reaching this point.
+	deferred map[string]bool
+}
+
+func (f fact) clone() fact {
+	out := fact{
+		held:     make(map[string]token.Pos, len(f.held)),
+		deferred: make(map[string]bool, len(f.deferred)),
+	}
+	for k, v := range f.held {
+		out.held[k] = v
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+// lattice implements cfg.Lattice[fact]; apply is shared between the pure
+// fixpoint transfer and the single post-fixpoint reporting walk.
+type lattice struct {
+	pass     *analysis.Pass
+	funcName string
+	// ids caches held-key → order-ID resolutions within one function walk
+	// (the held map stores source paths, which only the acquiring selector
+	// could resolve to a typed identity).
+	ids map[string]string
+}
+
+func (l *lattice) Entry() fact {
+	return fact{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (l *lattice) Join(a, b fact) fact {
+	out := fact{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	for k, pa := range a.held {
+		if pb, ok := b.held[k]; ok {
+			if pb < pa {
+				pa = pb
+			}
+			out.held[k] = pa
+		}
+	}
+	for k := range a.deferred {
+		if b.deferred[k] {
+			out.deferred[k] = true
+		}
+	}
+	return out
+}
+
+func (l *lattice) Equal(a, b fact) bool {
+	if len(a.held) != len(b.held) || len(a.deferred) != len(b.deferred) {
+		return false
+	}
+	for k, v := range a.held {
+		if w, ok := b.held[k]; !ok || v != w {
+			return false
+		}
+	}
+	for k := range a.deferred {
+		if !b.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *lattice) Transfer(b *cfg.Block, in fact) fact {
+	return l.apply(b, in, false)
+}
+
+// apply pushes a fact through one block. With report set (the one
+// post-fixpoint walk over converged inputs) it emits diagnostics and feeds
+// the order graph; the fixpoint itself runs silent.
+func (l *lattice) apply(b *cfg.Block, in fact, report bool) fact {
+	f := in.clone()
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			l.call(call, &f, report)
+		case *ast.DeferStmt:
+			for _, key := range deferredReleases(s.Call) {
+				f.deferred[key] = true
+			}
+		case *ast.ReturnStmt:
+			if report {
+				l.reportLeaks(f, s.Pos(), "returns")
+			}
+		}
+	}
+	return f
+}
+
+// call interprets one expression-statement call for lock effects.
+func (l *lattice) call(call *ast.CallExpr, f *fact, report bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key, kok := lockKey(sel.X, sel.Sel.Name)
+	if !kok {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		if report {
+			if prev, dup := f.held[key]; dup && sel.Sel.Name == "Lock" {
+				l.pass.Reportf(call.Pos(),
+					"%s acquires %s twice without releasing it (first at %s): self-deadlock",
+					l.funcName, exprPath(sel.X), l.pos(prev))
+			}
+			l.recordOrder(*f, sel, call.Pos())
+		}
+		f.held[key] = call.Pos()
+	case "Unlock", "RUnlock":
+		delete(f.held, key)
+		delete(f.deferred, key)
+	}
+}
+
+// reportLeaks flags every lock held and not deferred at an exit.
+func (l *lattice) reportLeaks(f fact, pos token.Pos, how string) {
+	keys := make([]string, 0, len(f.held))
+	for k := range f.held {
+		if !f.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l.pass.Reportf(pos,
+			"%s %s while holding %s (acquired at %s); unlock on every path or defer the unlock",
+			l.funcName, how, displayKey(k), l.pos(f.held[k]))
+	}
+}
+
+// recordOrder adds held→acquiring edges to the global order graph and
+// reports any cycle the new edge closes.
+func (l *lattice) recordOrder(f fact, sel *ast.SelectorExpr, pos token.Pos) {
+	to := l.orderID(sel.X)
+	if to == "" {
+		return
+	}
+	for heldKey := range f.held {
+		from := l.heldOrderID(heldKey)
+		if from == "" || from == to {
+			continue
+		}
+		if _, ok := orderEdges[from][to]; ok {
+			continue
+		}
+		if path := orderPath(to, from); path != nil {
+			l.pass.Reportf(pos,
+				"lock order inversion: acquiring %s while holding %s, but the reverse order %s is established elsewhere (deadlock risk)",
+				to, from, strings.Join(append(path, to), " -> "))
+			continue // do not insert the inverted edge: keep the graph acyclic
+		}
+		if orderEdges[from] == nil {
+			orderEdges[from] = map[string]token.Pos{}
+		}
+		orderEdges[from][to] = pos
+	}
+	// Remember how to map this function's held keys back to order IDs.
+	if l.ids == nil {
+		l.ids = map[string]string{}
+	}
+	key, _ := lockKey(sel.X, sel.Sel.Name)
+	l.ids[key] = to
+}
+
+func (l *lattice) heldOrderID(heldKey string) string { return l.ids[heldKey] }
+
+// orderPath returns a path from → … → to in the order graph, or nil.
+func orderPath(from, to string) []string {
+	seen := map[string]bool{from: true}
+	type node struct {
+		id   string
+		path []string
+	}
+	queue := []node{{from, []string{from}}}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if n.id == to {
+			return n.path
+		}
+		next := make([]string, 0, len(orderEdges[n.id]))
+		for succ := range orderEdges[n.id] {
+			next = append(next, succ)
+		}
+		sort.Strings(next)
+		for _, succ := range next {
+			if !seen[succ] {
+				seen[succ] = true
+				queue = append(queue, node{succ, append(append([]string{}, n.path...), succ)})
+			}
+		}
+	}
+	return nil
+}
+
+func (l *lattice) pos(p token.Pos) string {
+	position := l.pass.Fset.Position(p)
+	return fmt.Sprintf("line %d", position.Line)
+}
+
+// orderID resolves a locked expression to a stable cross-package identifier:
+// "pkg.Type.field" for a mutex field of a named struct, "pkg.var" for a
+// package-level mutex. Locals return "".
+func (l *lattice) orderID(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		t := l.pass.TypesInfo.TypeOf(x.X)
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + x.Sel.Name
+	case *ast.Ident:
+		obj := l.pass.TypesInfo.ObjectOf(x)
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.ParenExpr:
+		return l.orderID(x.X)
+	}
+	return ""
+}
+
+// lockKey builds the per-path identity of a locked expression; read locks
+// get an "R:" prefix so the two lock modes balance independently.
+func lockKey(x ast.Expr, method string) (string, bool) {
+	path := exprPath(x)
+	if path == "" {
+		return "", false
+	}
+	if method == "RLock" || method == "RUnlock" {
+		return "R:" + path, true
+	}
+	return path, true
+}
+
+func displayKey(k string) string {
+	if rest, ok := strings.CutPrefix(k, "R:"); ok {
+		return rest + " (read lock)"
+	}
+	return k
+}
+
+// exprPath flattens an ident/selector chain to its source path ("c.mu");
+// anything more exotic (map index, function result) has no stable per-path
+// identity and is skipped.
+func exprPath(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(x.X)
+	case *ast.StarExpr:
+		return exprPath(x.X)
+	}
+	return ""
+}
+
+// deferredReleases lists the lock keys a deferred call releases: a direct
+// defer mu.Unlock(), or any Unlock/RUnlock inside a deferred func literal.
+func deferredReleases(call *ast.CallExpr) []string {
+	var out []string
+	add := func(c *ast.CallExpr) {
+		sel, ok := c.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+			return
+		}
+		if key, ok := lockKey(sel.X, sel.Sel.Name); ok {
+			out = append(out, key)
+		}
+	}
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				add(c)
+			}
+			return true
+		})
+		return out
+	}
+	add(call)
+	return out
+}
+
+// checkBody runs the fixpoint over one function body and then a single
+// reporting walk with the converged block inputs.
+func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	lat := &lattice{pass: pass, funcName: name}
+	in := cfg.Forward[fact](g, lat)
+	for _, b := range g.Reachable() {
+		f, ok := in[b]
+		if !ok {
+			continue
+		}
+		lat.apply(b, f, true)
+	}
+	// The fall-off end: blocks flowing into Exit whose last statement is not
+	// a return were already reported per-return above; anything else still
+	// holding a lock leaks it off the end of the function.
+	for _, b := range g.Exit.Preds {
+		f, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		if n := len(b.Stmts); n > 0 {
+			if _, isRet := b.Stmts[n-1].(*ast.ReturnStmt); isRet {
+				continue
+			}
+		}
+		out := lat.apply(b, f, false)
+		lat.reportLeaks(out, body.Rbrace, "falls off the end")
+	}
+}

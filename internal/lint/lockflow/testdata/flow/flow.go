@@ -1,0 +1,127 @@
+// Package flow is the lockflow fixture: balanced lock patterns the analyzer
+// must stay silent on, the early-return leak it exists to catch, and a
+// cross-function lock-order inversion.
+package flow
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+// get is the canonical pattern: lock, defer unlock.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.items[k]
+}
+
+// lookup releases explicitly on both paths: clean.
+func (s *store) lookup(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// leakyLookup forgets the unlock on the early return.
+func (s *store) leakyLookup(k string) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false // want `leakyLookup returns while holding s\.mu`
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// fallOff leaks the lock off the end of the function.
+func (s *store) fallOff() {
+	s.mu.Lock()
+	s.items["x"] = 1
+} // want `fallOff falls off the end while holding s\.mu`
+
+// double self-deadlocks: the second acquisition never proceeds.
+func (s *store) double() {
+	s.mu.Lock()
+	s.mu.Lock() // want `double acquires s\.mu twice`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// deferredLit releases through a deferred func literal: clean.
+func (s *store) deferredLit() {
+	s.mu.Lock()
+	defer func() {
+		s.items["n"]++
+		s.mu.Unlock()
+	}()
+	s.items["x"] = 2
+}
+
+// conditional acquisition is never reported: the lock is not must-held.
+func (s *store) conditional(lock bool) {
+	if lock {
+		s.mu.Lock()
+	}
+	if lock {
+		s.mu.Unlock()
+	}
+}
+
+type rstore struct {
+	rw sync.RWMutex
+	n  int
+}
+
+// read balances the read lock: clean.
+func (r *rstore) read() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.n
+}
+
+// leakyRead returns while holding the read lock.
+func (r *rstore) leakyRead() int {
+	r.rw.RLock()
+	if r.n > 0 {
+		return r.n // want `leakyRead returns while holding r\.rw \(read lock\)`
+	}
+	r.rw.RUnlock()
+	return 0
+}
+
+// handoff intentionally returns locked; the ignore directive records why.
+func (s *store) handoff() {
+	s.mu.Lock()
+	s.items["handoff"] = 1
+	//lint:ignore kwslint/lockflow caller releases via (*store).release
+	return
+}
+
+// Package-level mutexes establish a global acquisition order.
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abOrder establishes muA -> muB.
+func abOrder() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder takes the same pair in the opposite order: deadlock risk.
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want `lock order inversion`
+	muA.Unlock()
+	muB.Unlock()
+}

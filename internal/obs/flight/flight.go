@@ -319,6 +319,8 @@ func (l *Log) Req() string {
 
 // Emit records one event. Safe on a nil receiver (single branch, zero
 // allocations) and for concurrent use.
+//
+//kws:hotpath
 func (l *Log) Emit(k Kind, node int, probe string, alive bool, dur time.Duration, cause string) {
 	if l == nil {
 		return

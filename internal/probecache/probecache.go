@@ -288,6 +288,8 @@ func (o Outcome) Cause() string {
 // Get returns the cached verdict for the key, if it is present, current, and
 // unexpired. Stale entries (older generation or past TTL) are evicted on
 // contact and reported as misses.
+//
+//kws:hotpath
 func (c *Cache) Get(key string) (alive, ok bool) {
 	alive, outcome := c.Lookup(key)
 	return alive, outcome == Hit
@@ -303,6 +305,8 @@ func (c *Cache) Get(key string) (alive, ok bool) {
 // footprint. A suspect whose TTL lapses is therefore an expired eviction
 // (EvictionsStale), never a repair candidate — the TTL exists to bound
 // staleness the counters cannot see, and repair must not resurrect it.
+//
+//kws:hotpath
 func (c *Cache) Lookup(key string) (alive bool, outcome Outcome) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
